@@ -1,0 +1,1 @@
+bin/ranav.ml: Analyze Arg Cmd Cmdliner Format Gen Hashtbl Ita_casestudy Ita_core Ita_mc Ita_rtc Ita_sim Ita_symta Ita_ta List Option Printf Resource Scenario Sysmodel Term Units

@@ -1,0 +1,1 @@
+bin/tamc.ml: Arg Array Cmd Cmdliner Format Ita_mc Ita_ta Ita_tafmt List Printf Term

@@ -1,0 +1,469 @@
+(* ranav: analyze the in-car radio navigation case study with the four
+   techniques of the paper — timed-automata model checking (this
+   library's core), discrete-event simulation (POOSL stand-in),
+   busy-window analysis (SymTA/S stand-in) and modular performance
+   analysis (MPA stand-in). *)
+
+open Cmdliner
+open Ita_core
+module R = Ita_casestudy.Radionav
+module Reach = Ita_mc.Reach
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let combo_conv =
+  let parse = function
+    | "cv" -> Ok R.Cv_tmc
+    | "al" -> Ok R.Al_tmc
+    | s -> Error (`Msg (Printf.sprintf "unknown combo %S (cv or al)" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf (match c with R.Cv_tmc -> "cv" | R.Al_tmc -> "al")
+  in
+  Arg.conv (parse, print)
+
+let column_conv =
+  let parse = function
+    | "po" -> Ok R.Po
+    | "pno" -> Ok R.Pno
+    | "sp" -> Ok R.Sp
+    | "pj" -> Ok R.Pj
+    | "bur" -> Ok R.Bur
+    | s -> Error (`Msg (Printf.sprintf "unknown column %S" s))
+  in
+  let print ppf c = Format.pp_print_string ppf (R.column_name c) in
+  Arg.conv (parse, print)
+
+let order_conv =
+  let parse = function
+    | "bfs" -> Ok Reach.Bfs
+    | "dfs" -> Ok Reach.Dfs
+    | "rdfs" -> Ok (Reach.Random_dfs 1)
+    | s -> Error (`Msg (Printf.sprintf "unknown order %S" s))
+  in
+  let print ppf o =
+    Format.pp_print_string ppf
+      (match o with
+      | Reach.Bfs -> "bfs"
+      | Reach.Dfs -> "dfs"
+      | Reach.Random_dfs _ -> "rdfs")
+  in
+  Arg.conv (parse, print)
+
+let combo_arg =
+  Arg.(value & opt combo_conv R.Cv_tmc & info [ "combo" ] ~doc:"cv or al")
+
+let column_arg =
+  Arg.(value & opt column_conv R.Pno & info [ "column" ] ~doc:"po/pno/sp/pj/bur")
+
+let order_arg =
+  Arg.(value & opt order_conv Reach.Bfs & info [ "order" ] ~doc:"bfs/dfs/rdfs")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-states" ] ~doc:"state budget for structured testing")
+
+(* ------------------------------------------------------------------ *)
+(* wcrt                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_wcrt combo column scenario requirement order budget probe_start_ms =
+  let sys = R.system combo column in
+  let method_ =
+    match budget with
+    | None -> Analyze.Exhaustive
+    | Some states ->
+        Analyze.Structured_testing
+          {
+            order = (match order with Reach.Bfs -> Reach.Dfs | o -> o);
+            budget = Reach.states states;
+            start = Units.us_of_ms probe_start_ms;
+            step = Units.us_of_ms 10.0;
+          }
+  in
+  let r = Analyze.wcrt ~method_ ~order sys ~scenario ~requirement in
+  Format.printf "%s %s/%s [%s]: uncontended %a ms, wcrt %a ms (%d states, %.2fs)@."
+    (match combo with R.Cv_tmc -> "cv" | R.Al_tmc -> "al")
+    scenario requirement (R.column_name column) Units.pp_ms
+    r.Analyze.uncontended_us Analyze.pp_outcome r.Analyze.outcome
+    r.Analyze.explored r.Analyze.elapsed
+
+let wcrt_cmd =
+  let scenario =
+    Arg.(value & opt string "HandleTMC" & info [ "scenario" ] ~doc:"scenario name")
+  in
+  let requirement =
+    Arg.(value & opt string "TMC" & info [ "requirement" ] ~doc:"requirement name")
+  in
+  let probe_start =
+    Arg.(
+      value & opt float 100.0
+      & info [ "probe-start-ms" ] ~doc:"first probed bound (ms)")
+  in
+  Cmd.v (Cmd.info "wcrt" ~doc:"model-check one requirement")
+    Term.(
+      const run_wcrt $ combo_arg $ column_arg $ scenario $ requirement
+      $ order_arg $ budget_arg $ probe_start)
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The ChangeVolume-combination pno/sp cells and all pj/bur cells have
+   state spaces that defeated UPPAAL too; like the paper we fall back
+   to budgeted depth-first lower-bound probing for them unless the
+   caller forces exhaustiveness. *)
+let analyze_cell ?(force_exhaustive = false) (row : R.row) column ~budget =
+  let sys = R.system row.R.combo column in
+  let expensive =
+    (row.R.combo = R.Cv_tmc && column <> R.Po)
+    || ((column = R.Pj || column = R.Bur) && row.R.requirement = "TMC")
+  in
+  let probe states =
+    let start =
+      match (row.R.combo, row.R.requirement) with
+      | R.Cv_tmc, "TMC" -> 350_000
+      | _, "TMC" -> 172_106
+      | _, _ -> 14_080
+    in
+    Analyze.Structured_testing
+      {
+        order = Reach.Dfs;
+        budget = Reach.states states;
+        start;
+        step = 25_000;
+      }
+  in
+  let method_ =
+    match (budget, expensive && not force_exhaustive) with
+    | Some states, _ -> probe states
+    | None, true -> probe 60_000
+    | None, false -> Analyze.Exhaustive
+  in
+  Analyze.wcrt ~method_ sys ~scenario:row.R.scenario
+    ~requirement:row.R.requirement
+
+let run_table1 columns budget rows_filter full =
+  let columns =
+    if columns = [] then [ R.Po; R.Pno; R.Sp; R.Pj; R.Bur ] else columns
+  in
+  Format.printf
+    "Table 1: worst-case response times (ms), per environment model@.";
+  Format.printf "%-32s" "Requirement";
+  List.iter (fun c -> Format.printf " %12s" (R.column_name c)) columns;
+  Format.printf "@.";
+  List.iteri
+    (fun i (row : R.row) ->
+      if rows_filter = [] || List.mem i rows_filter then begin
+        Format.printf "%-32s" row.R.label;
+        List.iter
+          (fun c ->
+            let r = analyze_cell ~force_exhaustive:full row c ~budget in
+            Format.printf " %12s"
+              (Format.asprintf "%a" Analyze.pp_outcome r.Analyze.outcome))
+          columns;
+        Format.printf "@."
+      end)
+    R.table1_rows
+
+let table1_cmd =
+  let columns =
+    Arg.(
+      value
+      & opt (list column_conv) []
+      & info [ "columns" ] ~doc:"subset of po,pno,sp,pj,bur (default all)")
+  in
+  let rows =
+    Arg.(
+      value & opt (list int) []
+      & info [ "rows" ] ~doc:"row indices to compute (default all)")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"exhaustive search even on the huge cells (hours)")
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"regenerate the paper's Table 1 (WCRT per event model)")
+    Term.(const run_table1 $ columns $ budget_arg $ rows $ full)
+
+(* ------------------------------------------------------------------ *)
+(* table2                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sim_max sys ~scenario ~requirement ~runs ~horizon_us =
+  let best = ref 0 in
+  for seed = 1 to runs do
+    let stats = Ita_sim.Engine.run ~seed ~horizon_us sys in
+    List.iter
+      (fun (s : Ita_sim.Engine.sample) ->
+        if
+          s.Ita_sim.Engine.scenario = scenario
+          && s.Ita_sim.Engine.requirement = requirement
+        then best := max !best s.Ita_sim.Engine.response_us)
+      stats.Ita_sim.Engine.samples
+  done;
+  !best
+
+let run_table2 budget runs horizon_s =
+  let horizon_us = int_of_float (horizon_s *. 1e6) in
+  Format.printf
+    "Table 2: WCRT (ms) - model checking vs simulation vs analytic bounds@.";
+  Format.printf "%-32s %10s %10s %10s %10s %10s@." "Requirement" "mc(po)"
+    "mc(pno)" "sim(pno)" "symta(pno)" "mpa(pno)";
+  List.iter
+    (fun (row : R.row) ->
+      let cell col =
+        let r = analyze_cell row col ~budget in
+        Format.asprintf "%a" Analyze.pp_outcome r.Analyze.outcome
+      in
+      let mc_po = cell R.Po in
+      let mc_pno = cell R.Pno in
+      let sys_pno = R.system row.R.combo R.Pno in
+      let sim =
+        Format.asprintf "%a" Units.pp_ms
+          (sim_max sys_pno ~scenario:row.R.scenario
+             ~requirement:row.R.requirement ~runs ~horizon_us)
+      in
+      let symta =
+        try
+          let t = Ita_symta.Sysanalysis.analyze sys_pno in
+          Format.asprintf "%a" Units.pp_ms
+            (Ita_symta.Sysanalysis.wcrt t sys_pno ~scenario:row.R.scenario
+               ~requirement:row.R.requirement)
+        with Ita_symta.Sysanalysis.Diverged _ | Ita_symta.Busywindow.Unschedulable _ ->
+          "diverged"
+      in
+      let mpa =
+        try
+          let t = Ita_rtc.Gpc.analyze sys_pno in
+          Format.asprintf "%a" Units.pp_ms
+            (Ita_rtc.Gpc.wcrt t sys_pno ~scenario:row.R.scenario
+               ~requirement:row.R.requirement)
+        with Ita_rtc.Gpc.Diverged _ -> "diverged"
+      in
+      Format.printf "%-32s %10s %10s %10s %10s %10s@." row.R.label mc_po
+        mc_pno sim symta mpa)
+    R.table1_rows
+
+let table2_cmd =
+  let runs =
+    Arg.(value & opt int 10 & info [ "runs" ] ~doc:"simulation runs (seeds)")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 60.0
+      & info [ "horizon-s" ] ~doc:"simulated seconds per run")
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"regenerate the paper's Table 2 (tool comparison)")
+    Term.(const run_table2 $ budget_arg $ runs $ horizon)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_simulate combo column runs horizon_s =
+  let sys = R.system combo column in
+  let horizon_us = int_of_float (horizon_s *. 1e6) in
+  let table = Hashtbl.create 8 in
+  for seed = 1 to runs do
+    let stats = Ita_sim.Engine.run ~seed ~horizon_us sys in
+    List.iter
+      (fun (s : Ita_sim.Engine.sample) ->
+        let key = (s.Ita_sim.Engine.scenario, s.Ita_sim.Engine.requirement) in
+        let cur = try Hashtbl.find table key with Not_found -> (0, 0, 0) in
+        let n, total, worst = cur in
+        Hashtbl.replace table key
+          ( n + 1,
+            total + s.Ita_sim.Engine.response_us,
+            max worst s.Ita_sim.Engine.response_us ))
+      stats.Ita_sim.Engine.samples
+  done;
+  Format.printf "%d runs of %.1fs simulated time each@." runs horizon_s;
+  Hashtbl.iter
+    (fun (scen, req) (n, total, worst) ->
+      Format.printf "%-14s %-4s: %7d samples, mean %a ms, max %a ms@." scen req
+        n Units.pp_ms (total / max 1 n) Units.pp_ms worst)
+    table
+
+let simulate_cmd =
+  let runs = Arg.(value & opt int 20 & info [ "runs" ] ~doc:"seeds") in
+  let horizon =
+    Arg.(value & opt float 60.0 & info [ "horizon-s" ] ~doc:"seconds per run")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"discrete-event simulation (POOSL baseline)")
+    Term.(const run_simulate $ combo_arg $ column_arg $ runs $ horizon)
+
+(* ------------------------------------------------------------------ *)
+(* show-model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_show_model combo column measure =
+  let sys = R.system combo column in
+  let measure =
+    Option.map
+      (fun scen ->
+        let s = Sysmodel.scenario sys scen in
+        let req = List.hd s.Scenario.requirements in
+        (scen, req))
+      measure
+  in
+  let gen = Gen.generate ?measure sys in
+  Ita_ta.Pretty.pp_network Format.std_formatter gen.Gen.net;
+  Format.print_newline ()
+
+let show_model_cmd =
+  let measure =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "measure" ] ~doc:"scenario whose measuring automaton to include")
+  in
+  Cmd.v
+    (Cmd.info "show-model"
+       ~doc:"print the generated timed-automata network (Figures 4-9)")
+    Term.(const run_show_model $ combo_arg $ column_arg $ measure)
+
+(* ------------------------------------------------------------------ *)
+(* sweep (extension: the parameter sweep the paper says UPPAAL lacks)  *)
+(* ------------------------------------------------------------------ *)
+
+let run_sweep combo column kbps_list budget =
+  Format.printf
+    "HandleTMC WCRT (ms) vs bus bandwidth - all four techniques@.";
+  Format.printf "%8s %12s %12s %12s %12s@." "kbps" "mc" "sim" "symta" "mpa";
+  List.iter
+    (fun kbps ->
+      let base = R.system combo column in
+      let resources =
+        List.map
+          (fun (r : Resource.t) ->
+            if Resource.is_link r then
+              Resource.link r.Resource.name ~kbps
+                ~policy:r.Resource.policy
+            else r)
+          base.Sysmodel.resources
+      in
+      let sys = { base with Sysmodel.resources } in
+      let mc =
+        let method_ =
+          match budget with
+          | None -> Analyze.Exhaustive
+          | Some states ->
+              Analyze.Structured_testing
+                {
+                  order = Reach.Dfs;
+                  budget = Reach.states states;
+                  start = 100_000;
+                  step = 25_000;
+                }
+        in
+        let r =
+          Analyze.wcrt ~method_ sys ~scenario:"HandleTMC" ~requirement:"TMC"
+        in
+        Format.asprintf "%a" Analyze.pp_outcome r.Analyze.outcome
+      in
+      let sim =
+        Format.asprintf "%a" Units.pp_ms
+          (sim_max sys ~scenario:"HandleTMC" ~requirement:"TMC" ~runs:5
+             ~horizon_us:30_000_000)
+      in
+      let symta =
+        try
+          let t = Ita_symta.Sysanalysis.analyze sys in
+          Format.asprintf "%a" Units.pp_ms
+            (Ita_symta.Sysanalysis.wcrt t sys ~scenario:"HandleTMC"
+               ~requirement:"TMC")
+        with _ -> "diverged"
+      in
+      let mpa =
+        try
+          let t = Ita_rtc.Gpc.analyze sys in
+          Format.asprintf "%a" Units.pp_ms
+            (Ita_rtc.Gpc.wcrt t sys ~scenario:"HandleTMC" ~requirement:"TMC")
+        with _ -> "diverged"
+      in
+      Format.printf "%8.0f %12s %12s %12s %12s@." kbps mc sim symta mpa)
+    kbps_list
+
+let sweep_cmd =
+  let kbps =
+    Arg.(
+      value
+      & opt (list float) [ 48.0; 60.0; 72.0; 96.0; 120.0 ]
+      & info [ "kbps" ] ~doc:"bus bandwidths to sweep")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "bus-bandwidth design-space sweep with all four techniques (the \
+          parameter sweep the paper notes UPPAAL could not do)")
+    Term.(const run_sweep $ combo_arg $ column_arg $ kbps $ budget_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ablation: scheduler policies                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation column =
+  Format.printf
+    "Scheduler ablation (%s): K2A/A2V under processor and bus policies@."
+    (R.column_name column);
+  let variants =
+    [
+      ("preemptive cpus + preemptive bus", Resource.Priority_preemptive,
+       Resource.Priority_preemptive);
+      ("preemptive cpus + nonpreemptive bus", Resource.Priority_preemptive,
+       Resource.Priority_nonpreemptive);
+      ("nonpreemptive cpus + nonpreemptive bus",
+       Resource.Priority_nonpreemptive, Resource.Priority_nonpreemptive);
+    ]
+  in
+  List.iter
+    (fun (label, cpu_policy, bus_policy) ->
+      let base = R.system R.Cv_tmc column in
+      let resources =
+        List.map
+          (fun (r : Resource.t) ->
+            { r with Resource.policy = (if Resource.is_link r then bus_policy else cpu_policy) })
+          base.Sysmodel.resources
+      in
+      let sys = { base with Sysmodel.resources } in
+      let cell req =
+        let r =
+          Analyze.wcrt sys ~scenario:"ChangeVolume" ~requirement:req
+        in
+        Format.asprintf "%a" Analyze.pp_outcome r.Analyze.outcome
+      in
+      Format.printf "%-42s K2A=%s A2V=%s@." label (cell "K2A") (cell "A2V"))
+    variants
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation-sched"
+       ~doc:"compare scheduling policies (paper Figure 4 vs Figure 5 models)")
+    Term.(const run_ablation $ column_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "timed-automata analysis of the radio navigation case study" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ranav" ~doc)
+          [
+            wcrt_cmd;
+            table1_cmd;
+            table2_cmd;
+            simulate_cmd;
+            show_model_cmd;
+            sweep_cmd;
+            ablation_cmd;
+          ]))

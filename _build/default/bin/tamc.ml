@@ -1,0 +1,155 @@
+(* tamc: a small standalone model checker for .ta files — check the
+   file's reach/sup queries or dump the parsed network. *)
+
+open Cmdliner
+module Reach = Ita_mc.Reach
+module Wcrt = Ita_mc.Wcrt
+module E = Ita_tafmt.Elaborate
+
+let order_conv =
+  let parse = function
+    | "bfs" -> Ok Reach.Bfs
+    | "dfs" -> Ok Reach.Dfs
+    | "rdfs" -> Ok (Reach.Random_dfs 1)
+    | s -> Error (`Msg (Printf.sprintf "unknown order %S" s))
+  in
+  let print ppf o =
+    Format.pp_print_string ppf
+      (match o with
+      | Reach.Bfs -> "bfs"
+      | Reach.Dfs -> "dfs"
+      | Reach.Random_dfs _ -> "rdfs")
+  in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ta")
+
+let load path =
+  try Ok (E.load_file path) with
+  | E.Elab_error m -> Error (Printf.sprintf "%s: %s" path m)
+  | Ita_tafmt.Parser.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Ita_tafmt.Lexer.Lex_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Ita_ta.Network.Invalid_model m ->
+      Error (Printf.sprintf "%s: invalid model: %s" path m)
+
+let run_check path order budget trace =
+  match load path with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok { E.net; queries } ->
+      if queries = [] then begin
+        print_endline "no queries in file";
+        0
+      end
+      else begin
+        let budget =
+          match budget with
+          | None -> Reach.no_budget
+          | Some n -> Reach.states n
+        in
+        let failed = ref 0 in
+        List.iteri
+          (fun i q ->
+            match q with
+            | E.Deadlock_q -> (
+                Format.printf "query %d: deadlock ... @?" i;
+                let dead = ref None in
+                let result =
+                  Reach.explore ~order ~budget net
+                    ~on_store:(fun cfg ->
+                      if
+                        !dead = None
+                        && Ita_ta.Semantics.successors net cfg = []
+                      then dead := Some cfg.Ita_ta.Semantics.state)
+                in
+                match (!dead, result) with
+                | Some st, _ ->
+                    Format.printf "DEADLOCK at ";
+                    Ita_ta.Semantics.pp_state net Format.std_formatter st;
+                    Format.printf "@."
+                | None, `Complete stats ->
+                    Format.printf "deadlock-free (%a)@." Reach.pp_stats stats
+                | None, `Budget_exhausted stats ->
+                    incr failed;
+                    Format.printf "UNKNOWN: budget exhausted (%a)@."
+                      Reach.pp_stats stats)
+            | E.Reach_q q -> (
+                Format.printf "query %d: reach %a ... @?" i
+                  (Ita_mc.Query.pp net) q;
+                match Reach.reach ~order ~budget net q with
+                | Reach.Reachable { witness; stats; _ } ->
+                    Format.printf "REACHABLE (%a)@." Reach.pp_stats stats;
+                    if trace then Reach.pp_witness net Format.std_formatter witness
+                | Reach.Unreachable stats ->
+                    Format.printf "unreachable (%a)@." Reach.pp_stats stats
+                | Reach.Budget_exhausted stats ->
+                    incr failed;
+                    Format.printf "UNKNOWN: budget exhausted (%a)@."
+                      Reach.pp_stats stats)
+            | E.Sup_q { clock; at } -> (
+                Format.printf "query %d: sup %s at %a ... @?" i
+                  net.Ita_ta.Network.clock_names.(clock)
+                  (Ita_mc.Query.pp net) at;
+                match Wcrt.sup ~order net ~at ~clock with
+                | Wcrt.Sup { value; kind; stats } ->
+                    Format.printf "%d%s (%a)@." value
+                      (match kind with
+                      | Wcrt.Attained -> ""
+                      | Wcrt.Approached -> " (approached)")
+                      Reach.pp_stats stats
+                | Wcrt.Goal_unreachable stats ->
+                    Format.printf "location unreachable (%a)@." Reach.pp_stats
+                      stats
+                | Wcrt.Sup_unbounded { ceiling; stats } ->
+                    Format.printf "unbounded (beyond %d; %a)@." ceiling
+                      Reach.pp_stats stats
+                | Wcrt.Sup_budget_exhausted { observed; stats } ->
+                    incr failed;
+                    Format.printf "UNKNOWN: budget exhausted (saw %s; %a)@."
+                      (match observed with
+                      | Some v -> string_of_int v
+                      | None -> "nothing")
+                      Reach.pp_stats stats))
+          queries;
+        if !failed > 0 then 2 else 0
+      end
+
+let check_cmd =
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget-states" ] ~doc:"state cap")
+  in
+  let order =
+    Arg.(value & opt order_conv Reach.Bfs & info [ "order" ] ~doc:"bfs/dfs/rdfs")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"print witness traces")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"run the queries of a .ta file")
+    Term.(const run_check $ file_arg $ order $ budget $ trace)
+
+let run_show path =
+  match load path with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok { E.net; _ } ->
+      Ita_ta.Pretty.pp_network Format.std_formatter net;
+      Format.print_newline ();
+      0
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show" ~doc:"print the parsed network")
+    Term.(const run_show $ file_arg)
+
+let () =
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "tamc" ~doc:"timed-automata model checker for .ta files")
+          [ check_cmd; show_cmd ]))

@@ -1,0 +1,1 @@
+examples/bursty_gate.ml: Analyze Format Ita_casestudy Ita_core Ita_mc List

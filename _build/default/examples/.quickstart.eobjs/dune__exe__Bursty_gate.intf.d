@@ -1,0 +1,1 @@
+examples/bursty_gate.mli:

@@ -1,0 +1,1 @@
+examples/compare_techniques.ml: Analyze Format Ita_casestudy Ita_core Ita_rtc Ita_sim Ita_symta List Units

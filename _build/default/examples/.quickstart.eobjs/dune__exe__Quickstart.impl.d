@@ -1,0 +1,1 @@
+examples/quickstart.ml: Automaton Format Guard Ita_mc Ita_ta Network Pretty Update

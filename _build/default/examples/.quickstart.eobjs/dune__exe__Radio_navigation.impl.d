@@ -1,0 +1,1 @@
+examples/radio_navigation.ml: Analyze Array Format Gen Ita_casestudy Ita_core Ita_ta List Printf Scenario Sysmodel Units

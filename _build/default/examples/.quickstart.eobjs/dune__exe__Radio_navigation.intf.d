@@ -1,0 +1,1 @@
+examples/radio_navigation.mli:

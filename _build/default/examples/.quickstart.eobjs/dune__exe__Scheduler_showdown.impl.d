@@ -1,0 +1,1 @@
+examples/scheduler_showdown.ml: Analyze Eventmodel Format Ita_core List Resource Scenario Sysmodel Units

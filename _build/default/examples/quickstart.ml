@@ -1,0 +1,76 @@
+(* Quickstart: build a two-clock timed automaton by hand, explore it,
+   and extract a worst-case bound — the smallest end-to-end tour of the
+   library (network builder -> reachability -> sup query).
+
+   The automaton is a gate that opens between 1 and 2 time units after
+   a request and must close again exactly 4 units later; we ask how
+   late "closed" can be relative to the request.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ita_ta
+module Query = Ita_mc.Query
+module Reach = Ita_mc.Reach
+module Wcrt = Ita_mc.Wcrt
+
+let () =
+  (* declarations *)
+  let b = Network.Builder.create () in
+  let x = Network.Builder.clock b "x" in
+  let y = Network.Builder.clock b "y" in
+
+  (* one automaton: requested --[1 <= x <= 2]--> open --[x == 4]--> closed *)
+  let loc ?(kind = Automaton.Normal) ?(invariant = Guard.tt) loc_name =
+    { Automaton.loc_name; invariant; kind }
+  in
+  let gate =
+    Automaton.make ~name:"Gate"
+      ~locations:
+        [
+          loc "requested";
+          loc "open" ~invariant:(Guard.clock_le x 4);
+          (* committed: time stops here, so [y] reads the total delay *)
+          loc "closed" ~kind:Automaton.Committed;
+        ]
+      ~edges:
+        [
+          {
+            Automaton.src = 0;
+            dst = 1;
+            guard = Guard.conj (Guard.clock_ge x 1) (Guard.clock_le x 2);
+            sync = Automaton.NoSync;
+            update = Update.reset x;
+          };
+          {
+            Automaton.src = 1;
+            dst = 2;
+            guard = Guard.clock_eq x 4;
+            sync = Automaton.NoSync;
+            update = Update.none;
+          };
+        ]
+      ~initial:0
+  in
+  Network.Builder.add_automaton b gate;
+  let net = Network.Builder.build b in
+
+  (* print the model *)
+  Format.printf "%a@." Pretty.pp_network net;
+
+  (* reachability: can the gate close later than 6 after the request? *)
+  let closed = Query.at net ~comp:"Gate" ~loc:"closed" in
+  let late = Query.with_guard closed (Guard.clock_gt y 6) in
+  (match Reach.reach net late with
+  | Reach.Unreachable stats ->
+      Format.printf "closing later than 6 is impossible (%a)@."
+        Reach.pp_stats stats
+  | Reach.Reachable _ | Reach.Budget_exhausted _ ->
+      Format.printf "unexpected: closing later than 6 seems possible?!@.");
+
+  (* the exact worst case, in one sup query *)
+  match Wcrt.sup net ~at:closed ~clock:y with
+  | Wcrt.Sup { value; _ } ->
+      Format.printf "worst-case closing time: %d (expected 6)@." value
+  | Wcrt.Goal_unreachable _ | Wcrt.Sup_budget_exhausted _
+  | Wcrt.Sup_unbounded _ ->
+      Format.printf "unexpected sup outcome@."

@@ -1,0 +1,1 @@
+lib/casestudy/radionav.ml: Eventmodel Ita_core Printf Resource Scenario Sysmodel

@@ -1,0 +1,1 @@
+lib/casestudy/radionav.mli: Eventmodel Ita_core Resource Scenario Sysmodel

@@ -1,0 +1,201 @@
+open Ita_core
+
+let mmi =
+  Resource.processor "MMI" ~mips:22.0 ~policy:Resource.Priority_preemptive
+
+let rad =
+  Resource.processor "RAD" ~mips:11.0 ~policy:Resource.Priority_preemptive
+
+let nav =
+  Resource.processor "NAV" ~mips:113.0 ~policy:Resource.Priority_preemptive
+
+let bus = Resource.link "BUS" ~kbps:72.0 ~policy:Resource.Priority_preemptive
+
+let change_volume_period_us = 31_250
+let address_lookup_period_us = 1_000_000
+let tmc_period_us = 3_000_000
+
+let change_volume trigger =
+  Scenario.make ~name:"ChangeVolume" ~trigger ~band:Scenario.High
+    ~steps:
+      [
+        Scenario.Compute
+          { op = "HandleKeyPress"; resource = "MMI"; instructions = 1e5 };
+        Scenario.Transfer { msg = "SetVolume"; resource = "BUS"; bytes = 4 };
+        Scenario.Compute
+          { op = "AdjustVolume"; resource = "RAD"; instructions = 1e5 };
+        Scenario.Transfer { msg = "GetVolume"; resource = "BUS"; bytes = 4 };
+        Scenario.Compute
+          { op = "UpdateScreen"; resource = "MMI"; instructions = 5e5 };
+      ]
+    ~requirements:
+      [
+        {
+          Scenario.req_name = "K2A";
+          from_step = None;
+          to_step = 2;
+          budget_us = None;
+        };
+        {
+          Scenario.req_name = "A2V";
+          from_step = Some 2;
+          to_step = 4;
+          budget_us = Some 50_000;
+        };
+        {
+          Scenario.req_name = "K2V";
+          from_step = None;
+          to_step = 4;
+          budget_us = Some 200_000;
+        };
+      ]
+
+let address_lookup trigger =
+  Scenario.make ~name:"AddressLookup" ~trigger ~band:Scenario.High
+    ~steps:
+      [
+        Scenario.Compute
+          { op = "HandleKeyPress"; resource = "MMI"; instructions = 1e5 };
+        Scenario.Transfer { msg = "Query"; resource = "BUS"; bytes = 4 };
+        Scenario.Compute
+          { op = "DatabaseLookup"; resource = "NAV"; instructions = 5e6 };
+        Scenario.Transfer { msg = "Result"; resource = "BUS"; bytes = 64 };
+        Scenario.Compute
+          { op = "UpdateScreen"; resource = "MMI"; instructions = 5e5 };
+      ]
+    ~requirements:
+      [
+        {
+          Scenario.req_name = "E2E";
+          from_step = None;
+          to_step = 4;
+          budget_us = Some 200_000;
+        };
+      ]
+
+let handle_tmc trigger =
+  Scenario.make ~name:"HandleTMC" ~trigger ~band:Scenario.Low
+    ~steps:
+      [
+        Scenario.Compute
+          { op = "HandleTMC"; resource = "RAD"; instructions = 1e6 };
+        Scenario.Transfer { msg = "TMCData"; resource = "BUS"; bytes = 64 };
+        Scenario.Compute
+          { op = "DecodeTMC"; resource = "NAV"; instructions = 5e6 };
+        Scenario.Transfer { msg = "TMCResult"; resource = "BUS"; bytes = 64 };
+        Scenario.Compute
+          { op = "UpdateScreen"; resource = "MMI"; instructions = 5e5 };
+      ]
+    ~requirements:
+      [
+        {
+          Scenario.req_name = "TMC";
+          from_step = None;
+          to_step = 4;
+          budget_us = Some 1_000_000;
+        };
+      ]
+
+type column = Po | Pno | Sp | Pj | Bur
+
+let column_name = function
+  | Po -> "po"
+  | Pno -> "pno"
+  | Sp -> "sp"
+  | Pj -> "pj"
+  | Bur -> "bur"
+
+let trigger column ~period =
+  match column with
+  | Po -> Eventmodel.Periodic { period; offset = 0 }
+  | Pno -> Eventmodel.Periodic_unknown_offset { period }
+  | Sp -> Eventmodel.Sporadic { min_separation = period }
+  | Pj -> Eventmodel.Periodic_jitter { period; jitter = period }
+  | Bur -> Eventmodel.Bursty { period; jitter = 2 * period; min_separation = 0 }
+
+(* In the pj and bur columns only the radio station is jittery/bursty;
+   the other actors are sporadic (paper Section 4). *)
+let other_trigger column ~period =
+  match column with
+  | Po | Pno | Sp -> trigger column ~period
+  | Pj | Bur -> Eventmodel.Sporadic { min_separation = period }
+
+type combo = Cv_tmc | Al_tmc
+
+let system ?(queue_bound = 4) combo column =
+  let tmc = handle_tmc (trigger column ~period:tmc_period_us) in
+  let scenarios =
+    match combo with
+    | Cv_tmc ->
+        [
+          change_volume
+            (other_trigger column ~period:change_volume_period_us);
+          tmc;
+        ]
+    | Al_tmc ->
+        [
+          address_lookup
+            (other_trigger column ~period:address_lookup_period_us);
+          tmc;
+        ]
+  in
+  Sysmodel.make
+    ~name:
+      (Printf.sprintf "radionav-%s-%s"
+         (match combo with Cv_tmc -> "cv" | Al_tmc -> "al")
+         (column_name column))
+    ~resources:[ mmi; rad; nav; bus ]
+    ~scenarios ~queue_bound ()
+
+type row = {
+  label : string;
+  combo : combo;
+  scenario : string;
+  requirement : string;
+  paper_po : float option;
+  paper_pno : float option;
+}
+
+let table1_rows =
+  [
+    {
+      label = "HandleTMC (+ ChangeVolume)";
+      combo = Cv_tmc;
+      scenario = "HandleTMC";
+      requirement = "TMC";
+      paper_po = Some 357.133;
+      paper_pno = Some 381.632;
+    };
+    {
+      label = "HandleTMC (+ AddressLookup)";
+      combo = Al_tmc;
+      scenario = "HandleTMC";
+      requirement = "TMC";
+      paper_po = Some 172.106;
+      paper_pno = Some 239.080;
+    };
+    {
+      label = "K2A (ChangeVolume + HandleTMC)";
+      combo = Cv_tmc;
+      scenario = "ChangeVolume";
+      requirement = "K2A";
+      paper_po = Some 27.716;
+      paper_pno = Some 27.716;
+    };
+    {
+      label = "A2V (ChangeVolume + HandleTMC)";
+      combo = Cv_tmc;
+      scenario = "ChangeVolume";
+      requirement = "A2V";
+      paper_po = Some 41.796;
+      paper_pno = Some 41.796;
+    };
+    {
+      label = "AddressLookup (+ HandleTMC)";
+      combo = Al_tmc;
+      scenario = "AddressLookup";
+      requirement = "E2E";
+      paper_po = Some 79.075;
+      paper_pno = Some 79.075;
+    };
+  ]

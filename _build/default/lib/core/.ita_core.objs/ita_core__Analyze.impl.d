@@ -1,0 +1,1 @@
+lib/core/analyze.ml: Format Gen Ita_mc List Reach Scenario Sysmodel Units Wcrt

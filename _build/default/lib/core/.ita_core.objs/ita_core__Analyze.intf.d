@@ -1,0 +1,1 @@
+lib/core/analyze.mli: Format Ita_mc Reach Sysmodel

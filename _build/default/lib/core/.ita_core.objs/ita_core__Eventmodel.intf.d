@@ -1,0 +1,1 @@
+lib/core/eventmodel.mli: Format

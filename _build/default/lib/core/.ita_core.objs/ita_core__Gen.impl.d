@@ -1,0 +1,1 @@
+lib/core/gen.ml: Automaton Channel Eventmodel Expr Guard Hashtbl Ita_mc Ita_ta List Network Option Printf Resource Scenario Sysmodel Units Update

@@ -1,0 +1,1 @@
+lib/core/gen.mli: Expr Guard Ita_mc Ita_ta Network Scenario Sysmodel

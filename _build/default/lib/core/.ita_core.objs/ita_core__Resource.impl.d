@@ -1,0 +1,1 @@
+lib/core/resource.ml: Format Printf

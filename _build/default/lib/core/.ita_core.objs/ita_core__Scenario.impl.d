@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Eventmodel Format List Printf Resource Result

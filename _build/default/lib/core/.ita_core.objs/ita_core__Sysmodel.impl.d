@@ -1,0 +1,1 @@
+lib/core/sysmodel.ml: Format List Resource Result Scenario Units

@@ -1,0 +1,1 @@
+lib/core/sysmodel.mli: Eventmodel Format Resource Scenario

@@ -1,0 +1,66 @@
+type t =
+  | Periodic of { period : int; offset : int }
+  | Periodic_unknown_offset of { period : int }
+  | Sporadic of { min_separation : int }
+  | Periodic_jitter of { period : int; jitter : int }
+  | Bursty of { period : int; jitter : int; min_separation : int }
+
+let validate = function
+  | Periodic { period; offset } ->
+      if period <= 0 then Error "periodic: period must be positive"
+      else if offset < 0 then Error "periodic: negative offset"
+      else Ok ()
+  | Periodic_unknown_offset { period } ->
+      if period <= 0 then Error "periodic: period must be positive" else Ok ()
+  | Sporadic { min_separation } ->
+      if min_separation <= 0 then Error "sporadic: separation must be positive"
+      else Ok ()
+  | Periodic_jitter { period; jitter } ->
+      if period <= 0 then Error "pj: period must be positive"
+      else if jitter < 0 then Error "pj: negative jitter"
+      else if jitter > period then
+        Error "pj: jitter exceeds period; use Bursty"
+      else Ok ()
+  | Bursty { period; jitter; min_separation } ->
+      if period <= 0 then Error "bursty: period must be positive"
+      else if jitter <= period then
+        Error "bursty: jitter must exceed period; use Periodic_jitter"
+      else if min_separation < 0 then Error "bursty: negative separation"
+      else Ok ()
+
+let pjd = function
+  | Periodic { period; _ } | Periodic_unknown_offset { period } ->
+      (period, 0, period)
+  | Sporadic { min_separation } -> (min_separation, 0, min_separation)
+  | Periodic_jitter { period; jitter } -> (period, jitter, 0)
+  | Bursty { period; jitter; min_separation } -> (period, jitter, min_separation)
+
+let period = function
+  | Periodic { period; _ }
+  | Periodic_unknown_offset { period }
+  | Periodic_jitter { period; _ }
+  | Bursty { period; _ } ->
+      period
+  | Sporadic { min_separation } -> min_separation
+
+let max_backlog t =
+  let p, j, _ = pjd t in
+  (j / p) + 1
+
+let name = function
+  | Periodic _ -> "po"
+  | Periodic_unknown_offset _ -> "pno"
+  | Sporadic _ -> "sp"
+  | Periodic_jitter _ -> "pj"
+  | Bursty _ -> "bur"
+
+let pp ppf = function
+  | Periodic { period; offset } ->
+      Format.fprintf ppf "periodic(P=%d, F=%d)" period offset
+  | Periodic_unknown_offset { period } ->
+      Format.fprintf ppf "periodic(P=%d, unknown offset)" period
+  | Sporadic { min_separation } -> Format.fprintf ppf "sporadic(P=%d)" min_separation
+  | Periodic_jitter { period; jitter } ->
+      Format.fprintf ppf "periodic-jitter(P=%d, J=%d)" period jitter
+  | Bursty { period; jitter; min_separation } ->
+      Format.fprintf ppf "bursty(P=%d, J=%d, D=%d)" period jitter min_separation

@@ -1,0 +1,44 @@
+(** Event arrival models for the environment actors (paper Section 3.3).
+
+    The five shapes used in the paper's Table 1, in its order:
+
+    - [Periodic { period; offset }] — strictly periodic with a known
+      offset ("po"); the paper's synchronous case uses offset 0.
+    - [Periodic_unknown_offset] — strictly periodic, phase chosen
+      nondeterministically in [[0, period]] ("pno").
+    - [Sporadic] — only a minimal inter-arrival time ("sp").
+    - [Periodic_jitter { period; jitter }] with [jitter <= period]
+      ("pj"): event [k] occurs within
+      [[k * period, k * period + jitter]].
+    - [Bursty { period; jitter; min_separation }] with
+      [jitter > period] ("bur"): same release windows, which now
+      overlap, bounded below by the separation time.
+
+    All times are integer microseconds. *)
+
+type t =
+  | Periodic of { period : int; offset : int }
+  | Periodic_unknown_offset of { period : int }
+  | Sporadic of { min_separation : int }
+  | Periodic_jitter of { period : int; jitter : int }
+  | Bursty of { period : int; jitter : int; min_separation : int }
+
+val validate : t -> (unit, string) result
+
+val pjd : t -> int * int * int
+(** [(period, jitter, min_separation)] — the standard three-parameter
+    characterization used by the SymTA/S-style and MPA-style analyses.
+    [Sporadic p] maps to [(p, 0, p)]; unknown offset does not change
+    the parameters. *)
+
+val period : t -> int
+
+val max_backlog : t -> int
+(** How many releases can be simultaneously pending
+    ([floor (jitter / period) + 1]); sizes the generated counters. *)
+
+val name : t -> string
+(** Short tag, matching the paper's column heads: po, pno, sp, pj,
+    bur. *)
+
+val pp : Format.formatter -> t -> unit

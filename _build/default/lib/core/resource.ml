@@ -1,0 +1,45 @@
+type policy =
+  | Nondet_nonpreemptive
+  | Priority_nonpreemptive
+  | Priority_preemptive
+  | Tdma of { slot_us : int; cycle_us : int }
+  | Priority_segmented of { frame_bytes : int }
+
+type kind = Processor of { mips : float } | Link of { kbps : float }
+type t = { name : string; kind : kind; policy : policy }
+
+let check_policy name = function
+  | Tdma { slot_us; cycle_us } ->
+      if slot_us <= 0 || slot_us >= cycle_us then
+        invalid_arg
+          (Printf.sprintf "%s: TDMA needs 0 < slot (%d) < cycle (%d)" name
+             slot_us cycle_us)
+  | Priority_segmented { frame_bytes } ->
+      if frame_bytes <= 0 then
+        invalid_arg (Printf.sprintf "%s: frame size must be positive" name)
+  | Nondet_nonpreemptive | Priority_nonpreemptive | Priority_preemptive -> ()
+
+let processor name ~mips ~policy =
+  check_policy name policy;
+  { name; kind = Processor { mips }; policy }
+
+let link name ~kbps ~policy =
+  check_policy name policy;
+  { name; kind = Link { kbps }; policy }
+let is_link r = match r.kind with Link _ -> true | Processor _ -> false
+
+let pp ppf r =
+  let policy_s = function
+    | Nondet_nonpreemptive -> "nondet"
+    | Priority_nonpreemptive -> "prio"
+    | Priority_preemptive -> "prio-preemptive"
+    | Tdma { slot_us; cycle_us } ->
+        Printf.sprintf "tdma %d/%d" slot_us cycle_us
+    | Priority_segmented { frame_bytes } ->
+        Printf.sprintf "prio, %d-byte frames" frame_bytes
+  in
+  match r.kind with
+  | Processor { mips } ->
+      Format.fprintf ppf "%s: %.0f MIPS (%s)" r.name mips (policy_s r.policy)
+  | Link { kbps } ->
+      Format.fprintf ppf "%s: %.0f kbps (%s)" r.name kbps (policy_s r.policy)

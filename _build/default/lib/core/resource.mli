@@ -1,0 +1,52 @@
+(** Hardware resources of a deployment diagram: processors and
+    communication links (paper Figure 1).
+
+    Each resource is generated into one timed automaton (paper
+    Sections 3.1 and 3.2).  The scheduling policy picks the template:
+
+    - [Nondet_nonpreemptive]: the paper's Figure 4 — any pending job
+      may claim the resource, runs to completion (also the Figure 6 bus
+      template, which resembles simple serial buses like RS-485);
+    - [Priority_nonpreemptive]: Figure 4/6 plus priority guards — a
+      lower-band job may only start when no higher-band job is pending
+      (the paper's CAN-like bus arbitration);
+    - [Priority_preemptive]: the Figure 5 two-band pattern — a pending
+      higher-band job immediately suspends the running lower-band job,
+      whose remaining work is tracked in the [D] variable; higher-band
+      jobs do not preempt each other;
+    - [Tdma]: the resource is live only during a window of [slot_us]
+      at the start of every [cycle_us] (a TDMA bus slot, or an
+      ARINC-653-style time partition of a processor).  Jobs are
+      admitted with priority guards but do not preempt each other; a
+      job running into the blackout is suspended and resumes at the
+      next window (encoded with the Figure 5 remaining-work trick,
+      the blackout acting as a fixed-length preemptor — the TDMA
+      modeling the paper points to via Perathoner et al.). *)
+
+type policy =
+  | Nondet_nonpreemptive
+  | Priority_nonpreemptive
+  | Priority_preemptive
+  | Tdma of { slot_us : int; cycle_us : int }
+  | Priority_segmented of { frame_bytes : int }
+      (** links only: messages are broken into frames of [frame_bytes]
+          and re-arbitrated at every frame boundary, so a large
+          low-priority message blocks a high-priority one for at most
+          one frame — the starvation-avoiding protocols the paper
+          calls "less trivial" to encode (Section 3.2). *)
+
+type kind =
+  | Processor of { mips : float }
+  | Link of { kbps : float }
+
+type t = { name : string; kind : kind; policy : policy }
+
+val processor : string -> mips:float -> policy:policy -> t
+(** @raise Invalid_argument on a [Tdma] policy with
+    [slot_us <= 0 || slot_us >= cycle_us]. *)
+
+val link : string -> kbps:float -> policy:policy -> t
+(** Same validation as {!processor}. *)
+
+val is_link : t -> bool
+val pp : Format.formatter -> t -> unit

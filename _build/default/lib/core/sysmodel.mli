@@ -1,0 +1,52 @@
+(** A complete analyzable system: deployment (resources) + applications
+    (scenarios) + bookkeeping bounds.
+
+    [queue_bound] caps every generated pending-activation counter.  It
+    must dominate the real backlog (events in flight per step); if it
+    does not, analysis aborts with a variable-range violation rather
+    than silently dropping events — the same failure mode as UPPAAL's
+    bounded integers. *)
+
+type t = {
+  name : string;
+  resources : Resource.t list;
+  scenarios : Scenario.t list;
+  queue_bound : int;
+}
+
+val make :
+  name:string ->
+  resources:Resource.t list ->
+  scenarios:Scenario.t list ->
+  ?queue_bound:int ->
+  unit ->
+  t
+(** Default [queue_bound] is 4. @raise Invalid_argument when
+    {!validate} fails. *)
+
+val validate : t -> (unit, string) result
+
+val scenario : t -> string -> Scenario.t
+(** @raise Not_found *)
+
+val resource : t -> string -> Resource.t
+(** @raise Not_found *)
+
+val step_duration_us : t -> Scenario.step -> int
+(** Worst-case duration of a step on its resource, in microseconds. *)
+
+val uncontended_us :
+  t -> Scenario.t -> from_step:int option -> to_step:int -> int
+(** Sum of step durations along the measured window: the response time
+    with no interference at all; a universal WCRT lower bound and a
+    useful sanity anchor. *)
+
+val jobs_on : t -> Resource.t -> (Scenario.t * int * Scenario.step) list
+(** All (scenario, step index, step) triples deployed on a resource,
+    in scenario-then-step order. *)
+
+val with_trigger : t -> string -> Eventmodel.t -> t
+(** [with_trigger m scen ev] replaces one scenario's event model —
+    the Table 1 column sweep. *)
+
+val pp : Format.formatter -> t -> unit

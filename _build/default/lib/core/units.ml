@@ -1,0 +1,13 @@
+let round_nearest x = int_of_float (Float.round x)
+
+let us_of_instructions ~instructions ~mips =
+  assert (instructions >= 0.0 && mips > 0.0);
+  round_nearest (instructions /. mips)
+
+let us_of_bytes ~bytes ~kbps =
+  assert (bytes >= 0 && kbps > 0.0);
+  round_nearest (float_of_int (bytes * 8) /. kbps *. 1000.0)
+
+let us_of_ms ms = round_nearest (ms *. 1000.0)
+let ms_of_us us = float_of_int us /. 1000.0
+let pp_ms ppf us = Format.fprintf ppf "%.3f" (ms_of_us us)

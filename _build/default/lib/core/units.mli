@@ -1,0 +1,25 @@
+(** Time base and physical-quantity conversions.
+
+    All generated models use integer {b microseconds}, with physical
+    durations rounded to the nearest microsecond.  This reproduces the
+    original study's time base: with round-to-nearest microsecond
+    constants, the uncontended AddressLookup chain of the case study is
+    4545 + 444 + 44248 + 7111 + 22727 = 79075 us = 79.075 ms — exactly
+    the value of the paper's Tables 1 and 2. *)
+
+val us_of_instructions : instructions:float -> mips:float -> int
+(** Execution time of [instructions] on a [mips]
+    million-instructions-per-second processor, in rounded
+    microseconds.  This is the paper's deliberately coarse
+    instructions/capacity approximation (Section 3.1). *)
+
+val us_of_bytes : bytes:int -> kbps:float -> int
+(** Transfer time of [bytes] over a [kbps] kilobit-per-second link in
+    rounded microseconds (8 bits per byte, no protocol overhead). *)
+
+val us_of_ms : float -> int
+val ms_of_us : int -> float
+
+val pp_ms : Format.formatter -> int -> unit
+(** Print a microsecond count as milliseconds with three decimals,
+    the paper's table format (e.g. [357133] as ["357.133"]). *)

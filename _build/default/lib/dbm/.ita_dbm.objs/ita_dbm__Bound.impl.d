@@ -1,0 +1,1 @@
+lib/dbm/bound.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/dbm/bound.mli: Format

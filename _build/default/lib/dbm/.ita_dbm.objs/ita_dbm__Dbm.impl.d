@@ -1,0 +1,1 @@
+lib/dbm/dbm.ml: Array Bound Format Hashtbl

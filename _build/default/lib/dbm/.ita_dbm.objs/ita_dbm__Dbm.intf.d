@@ -1,0 +1,1 @@
+lib/dbm/dbm.mli: Bound Format

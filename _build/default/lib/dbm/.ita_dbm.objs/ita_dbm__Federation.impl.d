@@ -1,0 +1,1 @@
+lib/dbm/federation.ml: Dbm Format List

@@ -1,0 +1,1 @@
+lib/dbm/federation.mli: Dbm Format

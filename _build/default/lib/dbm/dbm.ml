@@ -1,0 +1,210 @@
+type t = { n : int; m : int array }
+(* [m] is a flat [n * n] array of encoded {!Bound.t}; entry [i*n + j]
+   bounds [x_i - x_j].  Kept canonical: m.(i*n+j) <= m.(i*n+k) + m.(k*n+j)
+   for all i j k, unless the zone is empty, which is flagged by a
+   negative diagonal entry at (0, 0). *)
+
+let dim z = z.n
+
+let zero n =
+  let n = n + 1 in
+  { n; m = Array.make (n * n) (Bound.zero_le :> int) }
+
+let universal n =
+  let n = n + 1 in
+  let inf = (Bound.infinity :> int) and z0 = (Bound.zero_le :> int) in
+  let m = Array.make (n * n) inf in
+  for j = 0 to n - 1 do
+    m.(j) <- z0;
+    (* row 0: -x_j <= 0 *)
+    m.((j * n) + j) <- z0
+  done;
+  { n; m }
+
+let copy z = { z with m = Array.copy z.m }
+let is_empty z = z.m.(0) < (Bound.zero_le :> int)
+let get z i j : Bound.t = Bound.of_encoded z.m.((i * z.n) + j)
+let bset z i j (b : Bound.t) = z.m.((i * z.n) + j) <- (b :> int)
+let mark_empty z = z.m.(0) <- (Bound.lt 0 :> int)
+
+(* Full Floyd-Warshall closure; O(n^3).  Used after extrapolation and
+   intersection; single-constraint updates use the O(n^2) incremental
+   variant in [constrain]. *)
+let close z =
+  let n = z.n and m = z.m in
+  try
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        let ik = m.((i * n) + k) in
+        if ik <> (Bound.infinity :> int) then
+          for j = 0 to n - 1 do
+            let v =
+              (Bound.add (Bound.of_encoded ik)
+                 (Bound.of_encoded m.((k * n) + j))
+                :> int)
+            in
+            if v < m.((i * n) + j) then m.((i * n) + j) <- v
+          done
+      done;
+      for i = 0 to n - 1 do
+        if m.((i * n) + i) < (Bound.zero_le :> int) then raise Exit
+      done
+    done
+  with Exit -> mark_empty z
+
+let up z =
+  let inf = (Bound.infinity :> int) in
+  if not (is_empty z) then
+    for i = 1 to z.n - 1 do
+      z.m.(i * z.n) <- inf
+    done
+
+let constrain z i j b =
+  if not (is_empty z) then
+    if Bound.lt_bound b (get z i j) then
+      if Bound.lt_bound (Bound.add b (get z j i)) Bound.zero_le then
+        mark_empty z
+      else begin
+        bset z i j b;
+        let n = z.n and m = z.m in
+        (* tighten every pair through the new edge (i, j) *)
+        for p = 0 to n - 1 do
+          let pi = get z p i in
+          if not (Bound.is_infinity pi) then begin
+            let via = Bound.add pi b in
+            for q = 0 to n - 1 do
+              let cand = (Bound.add via (get z j q) :> int) in
+              if cand < m.((p * n) + q) then m.((p * n) + q) <- cand
+            done
+          end
+        done
+      end
+
+let reset z i v =
+  assert (v >= 0);
+  if not (is_empty z) then begin
+    let bv = Bound.le v and bnv = Bound.le (-v) in
+    for j = 0 to z.n - 1 do
+      if j <> i then begin
+        bset z i j (Bound.add bv (get z 0 j));
+        bset z j i (Bound.add (get z j 0) bnv)
+      end
+    done;
+    bset z i i Bound.zero_le
+  end
+
+let free z i =
+  if not (is_empty z) then begin
+    for j = 0 to z.n - 1 do
+      if j <> i then begin
+        bset z i j Bound.infinity;
+        bset z j i (get z j 0)
+      end
+    done;
+    bset z i 0 Bound.infinity;
+    bset z 0 i Bound.zero_le
+  end
+
+let intersect z z' =
+  assert (z.n = z'.n);
+  if is_empty z' then mark_empty z
+  else if not (is_empty z) then begin
+    let changed = ref false in
+    for k = 0 to Array.length z.m - 1 do
+      if z'.m.(k) < z.m.(k) then begin
+        z.m.(k) <- z'.m.(k);
+        changed := true
+      end
+    done;
+    if !changed then close z
+  end
+
+let subset z z' =
+  assert (z.n = z'.n);
+  is_empty z
+  || ((not (is_empty z'))
+     &&
+     let ok = ref true in
+     let k = ref 0 in
+     let len = Array.length z.m in
+     while !ok && !k < len do
+       if z.m.(!k) > z'.m.(!k) then ok := false;
+       incr k
+     done;
+     !ok)
+
+let equal z z' =
+  z.n = z'.n
+  &&
+  if is_empty z then is_empty z'
+  else (not (is_empty z')) && z.m = z'.m
+
+let hash z = if is_empty z then 0 else Hashtbl.hash z.m
+
+let extrapolate z k =
+  assert (Array.length k = z.n && k.(0) = 0);
+  if not (is_empty z) then begin
+    let changed = ref false in
+    for i = 0 to z.n - 1 do
+      for j = 0 to z.n - 1 do
+        if i <> j then begin
+          let b = get z i j in
+          if not (Bound.is_infinity b) then
+            if Bound.lt_bound (Bound.le k.(i)) b then begin
+              bset z i j Bound.infinity;
+              changed := true
+            end
+            else if Bound.lt_bound b (Bound.lt (-k.(j))) then begin
+              bset z i j (Bound.lt (-k.(j)));
+              changed := true
+            end
+        end
+      done
+    done;
+    if !changed then close z
+  end
+
+let sup z i = get z i 0
+let inf z i = get z 0 i
+
+let satisfies z v =
+  assert (Array.length v = z.n && v.(0) = 0);
+  (not (is_empty z))
+  &&
+  let ok = ref true in
+  for i = 0 to z.n - 1 do
+    for j = 0 to z.n - 1 do
+      if not (Bound.sat (v.(i) - v.(j)) (get z i j)) then ok := false
+    done
+  done;
+  !ok
+
+let delay_ordered z v d =
+  let v' = Array.mapi (fun i x -> if i = 0 then 0 else x + d) v in
+  if satisfies z v' then Some v' else None
+
+let pp ppf z =
+  if is_empty z then Format.pp_print_string ppf "false"
+  else begin
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Format.fprintf ppf " && "
+    in
+    for i = 0 to z.n - 1 do
+      for j = 0 to z.n - 1 do
+        if i <> j then begin
+          let b = get z i j in
+          let trivial =
+            Bound.is_infinity b || (j = i) || (i = 0 && b = Bound.zero_le)
+          in
+          if not trivial then begin
+            sep ();
+            if j = 0 then Format.fprintf ppf "x%d%a" i Bound.pp b
+            else if i = 0 then Format.fprintf ppf "-x%d%a" j Bound.pp b
+            else Format.fprintf ppf "x%d-x%d%a" i j Bound.pp b
+          end
+        end
+      done
+    done;
+    if !first then Format.pp_print_string ppf "true"
+  end

@@ -1,0 +1,84 @@
+(** Difference Bound Matrices: the canonical symbolic representation of
+    clock zones used by zone-based timed-automata model checkers.
+
+    A DBM over [n] clocks is an [(n+1) x (n+1)] matrix of {!Bound.t}
+    where entry [(i, j)] constrains [x_i - x_j]; index [0] is the
+    constant reference clock whose value is always [0].  All operations
+    below keep the matrix in canonical (all-pairs-shortest-path closed)
+    form, so inclusion and equality are pointwise.
+
+    DBMs are mutable for performance; operations that logically produce
+    a new zone mutate in place unless documented otherwise.  Use
+    {!copy} before a destructive call when the original is still
+    needed. *)
+
+type t
+
+val dim : t -> int
+(** Number of rows/columns, i.e. number of clocks + 1. *)
+
+val zero : int -> t
+(** [zero n] is the zone over [n] clocks where every clock equals [0]
+    (the initial zone of a timed automaton). *)
+
+val universal : int -> t
+(** [universal n] is the zone where every clock ranges over [0, +oo). *)
+
+val copy : t -> t
+
+val is_empty : t -> bool
+(** A canonical DBM is empty iff its diagonal got negative; all
+    mutators below re-canonicalize, so this is O(1). *)
+
+val get : t -> int -> int -> Bound.t
+(** [get z i j] is the canonical bound on [x_i - x_j]. *)
+
+val up : t -> unit
+(** Time elapse (UPPAAL's "up"): remove all upper bounds on clocks,
+    keeping differences.  Preserves canonicity. *)
+
+val constrain : t -> int -> int -> Bound.t -> unit
+(** [constrain z i j b] intersects with [x_i - x_j (< or <=) c].
+    Re-canonicalizes incrementally in O(dim^2).  May empty the zone. *)
+
+val reset : t -> int -> int -> unit
+(** [reset z i v] sets clock [i] to the non-negative constant [v]. *)
+
+val free : t -> int -> unit
+(** [free z i] removes all constraints on clock [i] except [x_i >= 0]. *)
+
+val intersect : t -> t -> unit
+(** [intersect z z'] narrows [z] to the intersection with [z']. *)
+
+val subset : t -> t -> bool
+(** [subset z z'] iff every valuation of [z] belongs to [z'].  Both
+    arguments must be canonical (which this module guarantees). *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val extrapolate : t -> int array -> unit
+(** [extrapolate z k] applies classical maximal-constant abstraction
+    (ExtraM): bounds larger than [k.(i)] become [+oo] and lower bounds
+    beyond [-k.(j)] are relaxed to [< -k.(j)].  [k.(0)] must be [0].
+    Sound for diagonal-free timed automata; the result is
+    re-canonicalized. *)
+
+val sup : t -> int -> Bound.t
+(** [sup z i] is the least upper bound of clock [i] over the zone
+    ([Bound.infinity] when unbounded). *)
+
+val inf : t -> int -> Bound.t
+(** [inf z i] is the bound on [-x_i], i.e. [(c, ~)] means
+    [x_i >(=) -c]; the greatest lower bound of clock [i] is [-c]. *)
+
+val satisfies : t -> int array -> bool
+(** [satisfies z v] tests membership of the concrete valuation [v]
+    (with [v.(0) = 0]); used as a testing oracle. *)
+
+val delay_ordered : t -> int array -> int -> int array option
+(** [delay_ordered z v d] is [Some (v + d)] when delaying the valuation
+    [v] by [d] stays in [z], [None] otherwise; testing helper. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable conjunction of the non-trivial constraints. *)

@@ -1,0 +1,32 @@
+type t = { n : int; mutable zs : Dbm.t list }
+
+let empty n = { n = n + 1; zs = [] }
+
+let of_dbm z =
+  if Dbm.is_empty z then { n = Dbm.dim z; zs = [] }
+  else { n = Dbm.dim z; zs = [ Dbm.copy z ] }
+
+let dim f = f.n - 1
+let is_empty f = f.zs = []
+let zones f = f.zs
+
+let add f z =
+  assert (Dbm.dim z = f.n);
+  if Dbm.is_empty z then f
+  else if List.exists (fun z' -> Dbm.subset z z') f.zs then f
+  else
+    {
+      f with
+      zs = Dbm.copy z :: List.filter (fun z' -> not (Dbm.subset z' z)) f.zs;
+    }
+
+let mem f v = List.exists (fun z -> Dbm.satisfies z v) f.zs
+let subsumes f z = Dbm.is_empty z || List.exists (Dbm.subset z) f.zs
+let size f = List.length f.zs
+
+let pp ppf f =
+  if is_empty f then Format.pp_print_string ppf "false"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ || ")
+      Dbm.pp ppf f.zs

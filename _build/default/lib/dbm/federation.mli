@@ -1,0 +1,32 @@
+(** Finite unions of zones.
+
+    The model checker itself stores zones per discrete state, but a few
+    clients (tests, sup-queries, trace widening) need a set-of-zones
+    abstraction with redundancy elimination.  A federation is a list of
+    non-empty canonical DBMs over the same clock set; the represented
+    set is their union. *)
+
+type t
+
+val empty : int -> t
+(** [empty n] is the empty federation over [n] clocks. *)
+
+val of_dbm : Dbm.t -> t
+val dim : t -> int
+val is_empty : t -> bool
+val zones : t -> Dbm.t list
+
+val add : t -> Dbm.t -> t
+(** [add f z] unions [z] in, dropping it if a stored zone already
+    contains it and dropping stored zones that [z] contains.  The
+    argument is copied; the federation never aliases caller zones. *)
+
+val mem : t -> int array -> bool
+(** Valuation membership (testing oracle). *)
+
+val subsumes : t -> Dbm.t -> bool
+(** [subsumes f z] iff some single zone of [f] contains [z] (sound but
+    incomplete union inclusion, the standard passed-list test). *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

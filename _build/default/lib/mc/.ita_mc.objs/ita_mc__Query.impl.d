@@ -1,0 +1,1 @@
+lib/mc/query.ml: Array Automaton Expr Format Guard Ita_ta List Network

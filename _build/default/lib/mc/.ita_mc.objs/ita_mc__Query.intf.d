@@ -1,0 +1,1 @@
+lib/mc/query.mli: Format Guard Ita_ta Network

@@ -1,0 +1,1 @@
+lib/mc/reach.ml: Array Format Hashtbl Ita_dbm Ita_ta Ita_util List Network Query Queue Semantics Unix

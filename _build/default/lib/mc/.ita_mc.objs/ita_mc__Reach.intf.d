@@ -1,0 +1,1 @@
+lib/mc/reach.mli: Format Guard Ita_ta Network Query Semantics

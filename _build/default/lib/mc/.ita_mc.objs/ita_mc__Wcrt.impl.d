@@ -1,0 +1,1 @@
+lib/mc/wcrt.ml: Guard Ita_dbm Ita_ta Query Reach Semantics

@@ -1,0 +1,1 @@
+lib/mc/wcrt.mli: Guard Ita_ta Network Query Reach

@@ -1,0 +1,38 @@
+open Ita_ta
+
+type t = { comp_locs : (int * int) list; guard : Guard.t }
+
+let tt = { comp_locs = []; guard = Guard.tt }
+
+let at net ~comp ~loc =
+  let c = Network.component_index net comp in
+  let l = Automaton.find_location net.Network.automata.(c) loc in
+  { comp_locs = [ (c, l) ]; guard = Guard.tt }
+
+let conj q1 q2 =
+  { comp_locs = q1.comp_locs @ q2.comp_locs; guard = Guard.conj q1.guard q2.guard }
+
+let with_guard q g = { q with guard = Guard.conj q.guard g }
+
+let clock_constants (net : Network.t) q =
+  List.map
+    (fun (a : Guard.atom) ->
+      let lo, hi = Expr.interval net.Network.var_ranges a.Guard.bound in
+      (a.Guard.clock, max (abs lo) (abs hi)))
+    q.guard.Guard.clocks
+
+let pp (net : Network.t) ppf q =
+  let first = ref true in
+  let sep () = if !first then first := false else Format.fprintf ppf " && " in
+  List.iter
+    (fun (c, l) ->
+      sep ();
+      let a = net.Network.automata.(c) in
+      Format.fprintf ppf "%s.%s" a.Automaton.name
+        (Automaton.location a l).Automaton.loc_name)
+    q.comp_locs;
+  if (not (Guard.is_trivial q.guard)) || !first then begin
+    sep ();
+    Guard.pp ~clock_names:net.Network.clock_names
+      ~var_names:net.Network.var_names ppf q.guard
+  end

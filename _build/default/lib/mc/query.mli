@@ -1,0 +1,27 @@
+(** Reachability goals: "some component is at a given location and this
+    guard (clock and data constraints) holds".
+
+    This is the fragment of UPPAAL's query language the paper uses:
+    [E<> p] directly, and [A[] (seen -> y < C)] as the unreachability
+    of [seen && y >= C] (Property 1 of the paper). *)
+
+open Ita_ta
+
+type t = {
+  comp_locs : (int * int) list;
+      (** required (component, location) pairs; empty = any location *)
+  guard : Guard.t;
+}
+
+val tt : t
+val at : Network.t -> comp:string -> loc:string -> t
+(** @raise Not_found on unknown names. *)
+
+val conj : t -> t -> t
+val with_guard : t -> Guard.t -> t
+
+val clock_constants : Network.t -> t -> (Guard.clock * int) list
+(** Constants the query compares clocks against; the checker bumps the
+    extrapolation bounds with these to stay sound. *)
+
+val pp : Network.t -> Format.formatter -> t -> unit

@@ -1,0 +1,205 @@
+open Ita_ta
+module Dbm = Ita_dbm.Dbm
+module Vec = Ita_util.Vec
+module Prng = Ita_util.Prng
+
+type order = Bfs | Dfs | Random_dfs of int
+type budget = { max_states : int option; max_seconds : float option }
+
+let no_budget = { max_states = None; max_seconds = None }
+let states n = { max_states = Some n; max_seconds = None }
+
+type stats = {
+  explored : int;
+  stored : int;
+  transitions : int;
+  elapsed : float;
+}
+
+type step = { via : Semantics.label option; state : Semantics.state }
+
+type outcome =
+  | Reachable of { witness : step list; goal_zone : Dbm.t; stats : stats }
+  | Unreachable of stats
+  | Budget_exhausted of stats
+
+module State_key = struct
+  type t = Semantics.state
+
+  let equal = Semantics.state_equal
+  let hash = Semantics.state_hash
+end
+
+module H = Hashtbl.Make (State_key)
+
+type node = {
+  config : Semantics.config;
+  parent : int;  (* -1 for the root *)
+  via : Semantics.label option;
+}
+
+(* The passed list stores, per discrete state, the antichain of maximal
+   zones seen so far. *)
+let subsumed passed (c : Semantics.config) =
+  match H.find_opt passed c.Semantics.state with
+  | None -> false
+  | Some zones -> List.exists (fun z -> Dbm.subset c.Semantics.zone z) !zones
+
+let store passed (c : Semantics.config) =
+  let z = c.Semantics.zone in
+  match H.find_opt passed c.Semantics.state with
+  | None -> H.add passed c.Semantics.state (ref [ z ])
+  | Some zones -> zones := z :: List.filter (fun z' -> not (Dbm.subset z' z)) !zones
+
+type waiting = { push : int -> unit; pop : unit -> int option }
+
+let make_waiting order =
+  match order with
+  | Bfs ->
+      let q = Queue.create () in
+      { push = (fun i -> Queue.push i q); pop = (fun () -> Queue.take_opt q) }
+  | Dfs | Random_dfs _ ->
+      let stack = ref [] in
+      {
+        push = (fun i -> stack := i :: !stack);
+        pop =
+          (fun () ->
+            match !stack with
+            | [] -> None
+            | i :: rest ->
+                stack := rest;
+                Some i);
+      }
+
+type engine_result =
+  | Goal_found of node Vec.t * int * Dbm.t * stats
+  | Space_exhausted of stats
+  | Out_of_budget of stats
+
+(* Core loop shared by [reach] and [explore].  [goal] maps a fresh
+   configuration to its non-empty goal zone when it hits the target;
+   goal checking happens at state creation time so that counterexamples
+   are found as early as possible (UPPAAL does the same). *)
+let run ?(order = Bfs) ?(budget = no_budget) net ~goal ~on_store () :
+    engine_result =
+  let t0 = Unix.gettimeofday () in
+  let nodes : node Vec.t = Vec.create () in
+  let passed = H.create 4096 in
+  let waiting = make_waiting order in
+  let rng =
+    match order with Random_dfs seed -> Some (Prng.create seed) | _ -> None
+  in
+  let explored = ref 0 and transitions = ref 0 and stored = ref 0 in
+  let stats () =
+    {
+      explored = !explored;
+      stored = !stored;
+      transitions = !transitions;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  let over_budget () =
+    (match budget.max_states with Some m -> !explored >= m | None -> false)
+    || match budget.max_seconds with
+       | Some s -> Unix.gettimeofday () -. t0 > s
+       | None -> false
+  in
+  let exception Found of int * Dbm.t in
+  (* States enter the passed list when pushed (not when popped): later
+     duplicates are subsumed away before they ever occupy the waiting
+     list.  A pushed state whose zone got pruned by a larger newcomer
+     is skipped at pop time — the newcomer covers its successors. *)
+  let still_stored (c : Semantics.config) =
+    match H.find_opt passed c.Semantics.state with
+    | None -> false
+    | Some zones -> List.memq c.Semantics.zone !zones
+  in
+  let add via parent (c : Semantics.config) =
+    match goal c with
+    | Some gz ->
+        let id = Vec.push nodes { config = c; parent; via } in
+        raise (Found (id, gz))
+    | None ->
+        if not (subsumed passed c) then begin
+          store passed c;
+          incr stored;
+          on_store c;
+          let id = Vec.push nodes { config = c; parent; via } in
+          waiting.push id
+        end
+  in
+  try
+    add None (-1) (Semantics.initial net);
+    let continue = ref true in
+    while !continue do
+      match waiting.pop () with
+      | None -> continue := false
+      | Some id ->
+          let c = (Vec.get nodes id).config in
+          if still_stored c then begin
+            incr explored;
+            if over_budget () then raise Exit;
+            let succs = Array.of_list (Semantics.successors net c) in
+            (match rng with Some g -> Prng.shuffle g succs | None -> ());
+            Array.iter
+              (fun (label, c') ->
+                incr transitions;
+                add (Some label) id c')
+              succs
+          end
+    done;
+    Space_exhausted (stats ())
+  with
+  | Found (id, gz) -> Goal_found (nodes, id, gz, stats ())
+  | Exit -> Out_of_budget (stats ())
+
+let witness_of nodes id =
+  let rec go id acc =
+    if id < 0 then acc
+    else
+      let n : node = Vec.get nodes id in
+      go n.parent ({ via = n.via; state = n.config.Semantics.state } :: acc)
+  in
+  go id []
+
+let reach ?order ?budget net (q : Query.t) =
+  let net =
+    List.fold_left
+      (fun net (x, c) -> Network.bump_clock_bound net x c)
+      net
+      (Query.clock_constants net q)
+  in
+  let goal c =
+    Semantics.zone_of_goal net c q.Query.guard ~comp_locs:q.Query.comp_locs
+  in
+  match run ?order ?budget net ~goal ~on_store:(fun _ -> ()) () with
+  | Goal_found (nodes, id, gz, stats) ->
+      Reachable { witness = witness_of nodes id; goal_zone = gz; stats }
+  | Space_exhausted stats -> Unreachable stats
+  | Out_of_budget stats -> Budget_exhausted stats
+
+let explore ?order ?budget ?(extra_bounds = []) net ~on_store =
+  let net =
+    List.fold_left
+      (fun net (x, c) -> Network.bump_clock_bound net x c)
+      net extra_bounds
+  in
+  match run ?order ?budget net ~goal:(fun _ -> None) ~on_store () with
+  | Goal_found _ -> assert false
+  | Space_exhausted stats -> `Complete stats
+  | Out_of_budget stats -> `Budget_exhausted stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf "explored %d, stored %d, transitions %d, %.3fs"
+    s.explored s.stored s.transitions s.elapsed
+
+let pp_witness net ppf steps =
+  List.iteri
+    (fun i { via; state } ->
+      (match via with
+      | None -> Format.fprintf ppf "@[<h>%3d. (initial) " i
+      | Some l ->
+          Format.fprintf ppf "@[<h>%3d. [%a] " i (Semantics.pp_label net) l);
+      Semantics.pp_state net ppf state;
+      Format.fprintf ppf "@]@.")
+    steps

@@ -1,0 +1,54 @@
+(** Forward symbolic reachability: the model checker's engine.
+
+    Explores the zone graph with a passed list keyed on the discrete
+    state (zone lists with inclusion subsumption) and a waiting list
+    whose discipline is the search order.  [Bfs] gives shortest
+    counterexamples; [Dfs] and [Random_dfs] are the paper's "structured
+    testing" modes ("df" / "rdf" in Table 1) for finding
+    counterexamples — hence WCRT lower bounds — in state spaces too
+    large to exhaust. *)
+
+open Ita_ta
+
+type order = Bfs | Dfs | Random_dfs of int  (** seed *)
+
+type budget = { max_states : int option; max_seconds : float option }
+
+val no_budget : budget
+val states : int -> budget
+
+type stats = {
+  explored : int;  (** symbolic states popped and expanded *)
+  stored : int;  (** zones in the passed list at the end *)
+  transitions : int;  (** symbolic successors computed *)
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+type step = {
+  via : Semantics.label option;  (** [None] for the initial state *)
+  state : Semantics.state;
+}
+
+type outcome =
+  | Reachable of { witness : step list; goal_zone : Semantics.Dbm.t; stats : stats }
+  | Unreachable of stats
+  | Budget_exhausted of stats
+      (** the goal was not found within the budget: unreachability is
+          NOT established. *)
+
+val reach : ?order:order -> ?budget:budget -> Network.t -> Query.t -> outcome
+(** The extrapolation constants are bumped with the query's clock
+    constants, so checking [y >= C] is sound for any [C]. *)
+
+val explore :
+  ?order:order ->
+  ?budget:budget ->
+  ?extra_bounds:(Guard.clock * int) list ->
+  Network.t ->
+  on_store:(Semantics.config -> unit) ->
+  [ `Complete of stats | `Budget_exhausted of stats ]
+(** Full exploration, calling [on_store] once per non-subsumed symbolic
+    state; used by sup-style queries and state-space measurements. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+val pp_witness : Network.t -> Format.formatter -> step list -> unit

@@ -1,0 +1,1 @@
+lib/rtc/curve.ml: Hashtbl List

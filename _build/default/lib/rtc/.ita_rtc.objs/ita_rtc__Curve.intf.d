@@ -1,0 +1,1 @@
+lib/rtc/curve.mli:

@@ -1,0 +1,1 @@
+lib/rtc/gpc.ml: Curve Eventmodel Format Hashtbl Ita_core List Minplus Resource Scenario Sysmodel

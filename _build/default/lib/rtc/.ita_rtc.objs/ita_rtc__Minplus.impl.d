@@ -1,0 +1,1 @@
+lib/rtc/minplus.ml: Array Curve List

@@ -1,0 +1,1 @@
+lib/rtc/minplus.mli: Curve

@@ -1,0 +1,236 @@
+open Ita_core
+
+type step_report = {
+  scenario : string;
+  step_index : int;
+  step_name : string;
+  resource : string;
+  wcet : int;
+  delay : int;
+  backlog : int;
+}
+
+type t = { steps : step_report list; iterations : int; horizon : int }
+
+exception Diverged of string
+
+(* One global round: each step's arrival curve is its trigger curve
+   shifted by the accumulated upstream delay; resources serve High
+   demand from full service, Low demand from the leftover. *)
+let round sys ~horizon pendings spreads =
+  let arrival (s : Scenario.t) _k =
+    (* step activations happen at the trigger rate: the chain is FIFO,
+       so accumulated jitter enters through the backlog and
+       cross-stream terms only (cf. Busywindow) *)
+    let period, jitter, dmin = Eventmodel.pjd s.Scenario.trigger in
+    Curve.upper_pjd ~period ~jitter ~dmin
+  in
+  let next = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Resource.t) ->
+      let jobs = Sysmodel.jobs_on sys r in
+      if jobs <> [] then begin
+        let demand_of ((s : Scenario.t), k, st) =
+          Curve.scale (arrival s k) (Sysmodel.step_duration_us sys st)
+        in
+        let high, low =
+          List.partition
+            (fun ((s : Scenario.t), _, _) -> s.Scenario.band = Scenario.High)
+            jobs
+        in
+        let total_high_demand =
+          List.fold_left
+            (fun acc j -> Curve.add acc (demand_of j))
+            Curve.zero high
+        in
+        let full =
+          match r.Resource.policy with
+          | Resource.Tdma { slot_us; cycle_us } ->
+              (* the classical TDMA lower service curve, as the
+                 leftover of a unit-rate server after the periodic
+                 blackout demand *)
+              let blackout =
+                Curve.scale
+                  (Curve.upper_pjd ~period:cycle_us ~jitter:0 ~dmin:cycle_us)
+                  (cycle_us - slot_us)
+              in
+              Minplus.leftover ~horizon ~service:(Curve.rate 1)
+                ~demand:blackout
+          | Resource.Nondet_nonpreemptive | Resource.Priority_nonpreemptive
+          | Resource.Priority_preemptive | Resource.Priority_segmented _ ->
+              Curve.rate 1
+        in
+        let low_service =
+          Minplus.leftover ~horizon ~service:full ~demand:total_high_demand
+        in
+        let analyze_band service band_jobs =
+          List.iter
+            (fun (((s : Scenario.t), k, st) as j) ->
+              (* Rivals within the band steal service too.  Same-chain
+                 rivals are precedence-ordered with the victim
+                 (cf. Busywindow.rival_count): downstream steps only
+                 contribute the chain's pipeline backlog, upstream
+                 steps additionally keep arriving during the window. *)
+              let rivals =
+                List.fold_left
+                  (fun acc ((s' : Scenario.t), k', st') ->
+                    let c = Sysmodel.step_duration_us sys st' in
+                    if s'.Scenario.name = s.Scenario.name && k' = k then acc
+                    else if s'.Scenario.name = s.Scenario.name then begin
+                      let backlog =
+                        try Hashtbl.find pendings s'.Scenario.name
+                        with Not_found -> 0
+                      in
+                      let pending_demand =
+                        Curve.constant (backlog * c)
+                      in
+                      if k' < k then
+                        Curve.add acc
+                          (Curve.add pending_demand
+                             (Curve.scale (arrival s' k') c))
+                      else Curve.add acc pending_demand
+                    end
+                    else begin
+                      let period, jitter, _ =
+                        Eventmodel.pjd s'.Scenario.trigger
+                      in
+                      let spread =
+                        try Hashtbl.find spreads s'.Scenario.name
+                        with Not_found -> 0
+                      in
+                      Curve.add acc
+                        (Curve.scale
+                           (Curve.upper_pjd ~period
+                              ~jitter:(jitter + spread) ~dmin:0)
+                           c)
+                    end)
+                  Curve.zero band_jobs
+              in
+              let my_service =
+                Minplus.leftover ~horizon ~service ~demand:rivals
+              in
+              let demand = demand_of j in
+              let delay =
+                Minplus.horizontal_deviation ~horizon ~demand
+                  ~service:my_service
+              in
+              let backlog =
+                let events = arrival s k in
+                let served_events =
+                  (* service in work units over wcet *)
+                  Curve.make
+                    ~eval:(fun d ->
+                      Curve.eval my_service d / Sysmodel.step_duration_us sys st)
+                    ~breakpoints:(fun ~horizon:h ->
+                      Curve.breakpoints my_service ~horizon:h)
+                in
+                Minplus.vertical_deviation ~horizon ~demand:events
+                  ~service:served_events
+              in
+              Hashtbl.replace next (s.Scenario.name, k) (delay, backlog))
+            band_jobs
+        in
+        analyze_band full high;
+        analyze_band low_service low
+      end)
+    sys.Sysmodel.resources;
+  next
+
+let analyze ?(max_iterations = 32) ?horizon (sys : Sysmodel.t) =
+  let base_horizon =
+    match horizon with
+    | Some h -> h
+    | None ->
+        4
+        * List.fold_left
+            (fun acc (s : Scenario.t) ->
+              max acc (Eventmodel.period s.Scenario.trigger))
+            1 sys.Sysmodel.scenarios
+  in
+  let rec with_horizon horizon =
+    let delays = Hashtbl.create 16 in
+    let pendings = Hashtbl.create 8 in
+    let spreads = Hashtbl.create 8 in
+    let update_chains () =
+      List.iter
+        (fun (s : Scenario.t) ->
+          let r_chain = ref 0 and c_chain = ref 0 in
+          List.iteri
+            (fun k st ->
+              (try r_chain := !r_chain + Hashtbl.find delays (s.Scenario.name, k)
+               with Not_found -> ());
+              c_chain := !c_chain + Sysmodel.step_duration_us sys st)
+            s.Scenario.steps;
+          let p = Eventmodel.period s.Scenario.trigger in
+          Hashtbl.replace pendings s.Scenario.name
+            (max 0 (((!r_chain + p - 1) / p) - 1));
+          Hashtbl.replace spreads s.Scenario.name
+            (max 0 (!r_chain - !c_chain)))
+        sys.Sysmodel.scenarios
+    in
+    let rec go i =
+      if i > max_iterations then raise (Diverged "delays failed to stabilize");
+      update_chains ();
+      let next = round sys ~horizon pendings spreads in
+      let changed = ref false in
+      let overflow = ref false in
+      Hashtbl.iter
+        (fun key (delay, _) ->
+          if delay = max_int then overflow := true
+          else if Hashtbl.find_opt delays key <> Some delay then begin
+            changed := true;
+            Hashtbl.replace delays key delay
+          end)
+        next;
+      if !overflow then `Grow
+      else if !changed then go (i + 1)
+      else `Done (next, i)
+    in
+    match go 1 with
+    | `Grow ->
+        if horizon > 1 lsl 34 then raise (Diverged "horizon exploded");
+        with_horizon (horizon * 4)
+    | `Done (final, iterations) -> (final, iterations, horizon)
+  in
+  let final, iterations, horizon = with_horizon base_horizon in
+  let steps =
+    List.concat_map
+      (fun (s : Scenario.t) ->
+        List.mapi
+          (fun k st ->
+            let delay, backlog = Hashtbl.find final (s.Scenario.name, k) in
+            {
+              scenario = s.Scenario.name;
+              step_index = k;
+              step_name = Scenario.step_name st;
+              resource = Scenario.step_resource st;
+              wcet = Sysmodel.step_duration_us sys st;
+              delay;
+              backlog;
+            })
+          s.Scenario.steps)
+      sys.Sysmodel.scenarios
+  in
+  { steps; iterations; horizon }
+
+let wcrt t sys ~scenario ~requirement =
+  let s = Sysmodel.scenario sys scenario in
+  let req = Scenario.requirement s requirement in
+  let lo = match req.Scenario.from_step with None -> 0 | Some f -> f + 1 in
+  List.fold_left
+    (fun acc step ->
+      if
+        step.scenario = scenario && step.step_index >= lo
+        && step.step_index <= req.Scenario.to_step
+      then acc + step.delay
+      else acc)
+    0 t.steps
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>MPA: %d rounds, horizon %d@," t.iterations t.horizon;
+  List.iter
+    (fun st ->
+      Format.fprintf ppf "%-14s %-16s on %-4s C=%-7d delay=%-7d backlog=%d@,"
+        st.scenario st.step_name st.resource st.wcet st.delay st.backlog)
+    t.steps;
+  Format.fprintf ppf "@]"

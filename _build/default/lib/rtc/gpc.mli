@@ -1,0 +1,44 @@
+(** Greedy processing components and their composition into an MPA
+    analysis of a {!Ita_core.Sysmodel.t}.
+
+    Each scenario step becomes a greedy component on its resource:
+
+    - a processor or link offers the full-rate service curve to its
+      High band; each component consumes demand and passes the
+      leftover service to the Low band (fixed-priority resource
+      sharing in RTC);
+    - within a band, rival demand is subtracted from the service a
+      component sees (FIFO pessimism, as in the SymTA/S baseline);
+    - the worst-case delay through a component is the horizontal
+      deviation between its demand curve and its service curve, and
+      its output event stream is the input arrival curve shifted by
+      that delay (jitter propagation);
+    - end-to-end bounds add per-component delays — the loss of
+      inter-resource correlation that makes MPA conservative
+      (paper Section 5: the "phase shift disappears" in the interval
+      domain, so MPA cannot profit from known offsets and always
+      reports pno-style bounds). *)
+
+type step_report = {
+  scenario : string;
+  step_index : int;
+  step_name : string;
+  resource : string;
+  wcet : int;
+  delay : int;  (** worst-case delay through this component, us *)
+  backlog : int;  (** backlog bound in events *)
+}
+
+type t = { steps : step_report list; iterations : int; horizon : int }
+
+exception Diverged of string
+
+val analyze : ?max_iterations:int -> ?horizon:int -> Ita_core.Sysmodel.t -> t
+(** Default horizon: four times the largest scenario period, grown
+    automatically if a delay bound collides with it. *)
+
+val wcrt :
+  t -> Ita_core.Sysmodel.t -> scenario:string -> requirement:string -> int
+(** Sum of component delays along the requirement's window. *)
+
+val pp : Format.formatter -> t -> unit

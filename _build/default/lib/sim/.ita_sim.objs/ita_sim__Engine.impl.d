@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Calendar Eventmodel Hashtbl Ita_core Ita_util List Queue Resource Scenario Sysmodel Units

@@ -1,0 +1,69 @@
+type 'a entry = { at : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable now : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0; now = 0 }
+let is_empty c = c.len = 0
+let size c = c.len
+
+let lt e1 e2 = e1.at < e2.at || (e1.at = e2.at && e1.seq < e2.seq)
+
+let swap c i j =
+  let tmp = c.heap.(i) in
+  c.heap.(i) <- c.heap.(j);
+  c.heap.(j) <- tmp
+
+let rec sift_up c i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt c.heap.(i) c.heap.(parent) then begin
+      swap c i parent;
+      sift_up c parent
+    end
+  end
+
+let rec sift_down c i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < c.len && lt c.heap.(l) c.heap.(!smallest) then smallest := l;
+  if r < c.len && lt c.heap.(r) c.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap c i !smallest;
+    sift_down c !smallest
+  end
+
+let schedule c ~time payload =
+  if time < c.now then
+    invalid_arg
+      (Printf.sprintf "Calendar.schedule: time %d < now %d" time c.now);
+  let entry = { at = time; seq = c.next_seq; payload } in
+  c.next_seq <- c.next_seq + 1;
+  if c.len = Array.length c.heap then begin
+    let cap = max 64 (2 * c.len) in
+    let heap = Array.make cap entry in
+    Array.blit c.heap 0 heap 0 c.len;
+    c.heap <- heap
+  end;
+  c.heap.(c.len) <- entry;
+  c.len <- c.len + 1;
+  sift_up c (c.len - 1)
+
+let pop c =
+  if c.len = 0 then None
+  else begin
+    let top = c.heap.(0) in
+    c.len <- c.len - 1;
+    if c.len > 0 then begin
+      c.heap.(0) <- c.heap.(c.len);
+      sift_down c 0
+    end;
+    c.now <- top.at;
+    Some (top.at, top.payload)
+  end
+
+let peek_time c = if c.len = 0 then None else Some c.heap.(0).at

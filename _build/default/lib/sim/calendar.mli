@@ -1,0 +1,18 @@
+(** Event calendar: a binary min-heap on (time, insertion sequence),
+    so simultaneous events pop in insertion order (deterministic
+    runs). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val schedule : 'a t -> time:int -> 'a -> unit
+(** [time] must not precede the last popped time (no causality
+    violations); checked with an assertion. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Earliest event with its time. *)
+
+val peek_time : 'a t -> int option

@@ -1,0 +1,1 @@
+lib/symta/busywindow.ml: Evstream Ita_core List Scenario

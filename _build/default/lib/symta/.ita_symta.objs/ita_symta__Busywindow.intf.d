@@ -1,0 +1,1 @@
+lib/symta/busywindow.mli: Evstream Ita_core

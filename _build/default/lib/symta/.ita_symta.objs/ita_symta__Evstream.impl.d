@@ -1,0 +1,1 @@
+lib/symta/evstream.ml: Format Ita_core

@@ -1,0 +1,1 @@
+lib/symta/evstream.mli: Format Ita_core

@@ -1,0 +1,1 @@
+lib/symta/sysanalysis.ml: Array Busywindow Eventmodel Evstream Format Hashtbl Ita_core List Printf Resource Scenario String Sys Sysmodel Units

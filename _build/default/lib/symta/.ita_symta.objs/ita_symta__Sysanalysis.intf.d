@@ -1,0 +1,1 @@
+lib/symta/sysanalysis.mli: Evstream Format Ita_core

@@ -1,0 +1,1 @@
+lib/ta/automaton.ml: Array Channel Guard List Update

@@ -1,0 +1,1 @@
+lib/ta/channel.ml:

@@ -1,0 +1,1 @@
+lib/ta/concrete.ml: Array Automaton Channel Expr Guard Ita_util List Network Semantics Update

@@ -1,0 +1,1 @@
+lib/ta/guard.ml: Array Expr Format Ita_dbm List

@@ -1,0 +1,1 @@
+lib/ta/guard.mli: Expr Format Ita_dbm

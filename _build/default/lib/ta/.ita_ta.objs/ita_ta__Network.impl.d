@@ -1,0 +1,1 @@
+lib/ta/network.ml: Array Automaton Channel Expr Format Guard List Update

@@ -1,0 +1,1 @@
+lib/ta/pretty.ml: Array Automaton Channel Format Guard List Network Update

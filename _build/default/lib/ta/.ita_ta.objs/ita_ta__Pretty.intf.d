@@ -1,0 +1,1 @@
+lib/ta/pretty.mli: Automaton Channel Format Network

@@ -1,0 +1,1 @@
+lib/ta/semantics.ml: Array Automaton Channel Format Guard Hashtbl Ita_dbm List Network Update

@@ -1,0 +1,1 @@
+lib/ta/semantics.mli: Channel Format Guard Ita_dbm Network

@@ -1,0 +1,1 @@
+lib/ta/update.ml: Array Expr Format Guard Ita_dbm List

@@ -1,0 +1,1 @@
+lib/ta/update.mli: Expr Format Guard Ita_dbm

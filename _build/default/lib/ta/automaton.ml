@@ -1,0 +1,51 @@
+type loc_kind = Normal | Urgent | Committed
+
+type location = {
+  loc_name : string;
+  invariant : Guard.t;
+  kind : loc_kind;
+}
+
+type sync = NoSync | Send of Channel.id | Recv of Channel.id
+
+type edge = {
+  src : int;
+  guard : Guard.t;
+  sync : sync;
+  update : Update.t;
+  dst : int;
+}
+
+type t = {
+  name : string;
+  locations : location array;
+  edges : edge array;
+  outgoing : int list array;
+  initial : int;
+}
+
+let make ~name ~locations ~edges ~initial =
+  let locations = Array.of_list locations in
+  let edges = Array.of_list edges in
+  let outgoing = Array.make (Array.length locations) [] in
+  Array.iteri
+    (fun i e ->
+      assert (e.src >= 0 && e.src < Array.length locations);
+      assert (e.dst >= 0 && e.dst < Array.length locations);
+      outgoing.(e.src) <- i :: outgoing.(e.src))
+    edges;
+  (* keep declaration order for deterministic exploration *)
+  Array.iteri (fun l es -> outgoing.(l) <- List.rev es) outgoing;
+  assert (initial >= 0 && initial < Array.length locations);
+  { name; locations; edges; outgoing; initial }
+
+let location a i = a.locations.(i)
+let edge a i = a.edges.(i)
+let out_edges a l = a.outgoing.(l)
+
+let find_location a name =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i l -> if l.loc_name = name && !found < 0 then found := i)
+    a.locations;
+  if !found < 0 then raise Not_found else !found

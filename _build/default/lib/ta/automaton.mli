@@ -1,0 +1,42 @@
+(** A single timed-automaton component of a network.
+
+    Locations carry an invariant and a kind: [Urgent] locations forbid
+    delay; [Committed] locations additionally require the next discrete
+    transition to leave some committed location (UPPAAL semantics).
+    Edges carry a guard, an optional channel synchronization and an
+    update. *)
+
+type loc_kind = Normal | Urgent | Committed
+
+type location = {
+  loc_name : string;
+  invariant : Guard.t;
+  kind : loc_kind;
+}
+
+type sync = NoSync | Send of Channel.id | Recv of Channel.id
+
+type edge = {
+  src : int;
+  guard : Guard.t;
+  sync : sync;
+  update : Update.t;
+  dst : int;
+}
+
+type t = {
+  name : string;
+  locations : location array;
+  edges : edge array;
+  outgoing : int list array;  (** edge indices grouped by source location *)
+  initial : int;
+}
+
+val make :
+  name:string -> locations:location list -> edges:edge list -> initial:int -> t
+
+val location : t -> int -> location
+val edge : t -> int -> edge
+val out_edges : t -> int -> int list
+val find_location : t -> string -> int
+(** @raise Not_found when no location has that name. *)

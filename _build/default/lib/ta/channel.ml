@@ -1,0 +1,3 @@
+type kind = Binary | Broadcast
+type id = int
+type t = { name : string; kind : kind; urgent : bool }

@@ -1,0 +1,18 @@
+(** Synchronization channels.
+
+    [Binary] channels pair one sender ([c!]) with exactly one receiver
+    ([c?]); both block until a partner is available.  [Broadcast]
+    channels never block the sender: every component with an enabled
+    receiving edge participates, possibly none.
+
+    An [urgent] channel forbids delay whenever a synchronization on it
+    is enabled; following UPPAAL, edges synchronizing on an urgent
+    channel must not carry clock guards (checked by
+    {!Network.Builder.build}).  The paper's [hurry!] greediness idiom
+    is an urgent broadcast channel with no receivers. *)
+
+type kind = Binary | Broadcast
+
+type id = int
+
+type t = { name : string; kind : kind; urgent : bool }

@@ -1,0 +1,211 @@
+type t = { locs : int array; env : int array; clocks : int array }
+type move = Delay of int | Fire of Semantics.label
+
+let to_discrete c = { Semantics.locs = c.locs; env = c.env }
+
+let initial (net : Network.t) =
+  {
+    locs = Array.map (fun (a : Automaton.t) -> a.Automaton.initial) net.Network.automata;
+    env = Array.copy net.Network.var_init;
+    clocks = Array.make (Array.length net.Network.clock_names) 0;
+  }
+
+(* Slack before some invariant's upper bound; lower-bound invariant
+   atoms never constrain delay. *)
+let invariant_slack (net : Network.t) c =
+  let slack = ref None in
+  let tighten d = match !slack with
+    | None -> slack := Some d
+    | Some d' -> if d < d' then slack := Some d
+  in
+  Array.iteri
+    (fun i l ->
+      let inv = (Automaton.location net.Network.automata.(i) l).Automaton.invariant in
+      List.iter
+        (fun (a : Guard.atom) ->
+          let bound = Expr.eval c.env a.Guard.bound in
+          let v = c.clocks.(a.Guard.clock) in
+          match a.Guard.rel with
+          | Guard.Le | Guard.Eq -> tighten (bound - v)
+          | Guard.Lt -> tighten (bound - v - 1)
+          | Guard.Ge | Guard.Gt -> ())
+        inv.Guard.clocks)
+    c.locs;
+  !slack
+
+let max_delay net c =
+  if not (Semantics.delay_allowed net (to_discrete c)) then Some 0
+  else
+    match invariant_slack net c with
+    | None -> None
+    | Some d -> Some (max 0 d)
+
+let edge_enabled (net : Network.t) c (i, ei) =
+  let e = Automaton.edge net.Network.automata.(i) ei in
+  Guard.data_holds c.env e.Automaton.guard
+  && Guard.sat_clocks c.env e.Automaton.guard c.clocks
+
+(* Mirrors Semantics.successors' enumeration, on the concrete
+   valuation. *)
+let fireable (net : Network.t) c =
+  let n = Array.length net.Network.automata in
+  let committed =
+    Array.exists
+      (fun i ->
+        (Automaton.location net.Network.automata.(i) c.locs.(i)).Automaton.kind
+        = Automaton.Committed)
+      (Array.init n (fun i -> i))
+  in
+  let committed_ok parts =
+    (not committed)
+    || List.exists
+         (fun (i, ei) ->
+           let e = Automaton.edge net.Network.automata.(i) ei in
+           (Automaton.location net.Network.automata.(i) e.Automaton.src).Automaton.kind
+           = Automaton.Committed)
+         parts
+  in
+  let out i pred =
+    let a = net.Network.automata.(i) in
+    List.filter
+      (fun ei -> pred (Automaton.edge a ei) && edge_enabled net c (i, ei))
+      (Automaton.out_edges a c.locs.(i))
+  in
+  let acc = ref [] in
+  let emit label parts = if committed_ok parts then acc := label :: !acc in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun ei ->
+        emit (Semantics.Internal { comp = i; edge = ei }) [ (i, ei) ])
+      (out i (fun e -> e.Automaton.sync = Automaton.NoSync))
+  done;
+  Array.iteri
+    (fun ch (chan : Channel.t) ->
+      match chan.Channel.kind with
+      | Channel.Binary ->
+          for i = 0 to n - 1 do
+            List.iter
+              (fun se ->
+                for j = 0 to n - 1 do
+                  if j <> i then
+                    List.iter
+                      (fun re ->
+                        emit
+                          (Semantics.Sync
+                             { chan = ch; sender = (i, se); receivers = [ (j, re) ] })
+                          [ (i, se); (j, re) ])
+                      (out j (fun e -> e.Automaton.sync = Automaton.Recv ch))
+                done)
+              (out i (fun e -> e.Automaton.sync = Automaton.Send ch))
+          done
+      | Channel.Broadcast ->
+          for i = 0 to n - 1 do
+            List.iter
+              (fun se ->
+                (* receivers are forced; per component pick each enabled
+                   edge choice *)
+                let choices = ref [ [] ] in
+                for j = n - 1 downto 0 do
+                  if j <> i then begin
+                    let recvs = out j (fun e -> e.Automaton.sync = Automaton.Recv ch) in
+                    if recvs <> [] then
+                      choices :=
+                        List.concat_map
+                          (fun rest -> List.map (fun re -> (j, re) :: rest) recvs)
+                          !choices
+                  end
+                done;
+                List.iter
+                  (fun recvs ->
+                    emit
+                      (Semantics.Sync { chan = ch; sender = (i, se); receivers = recvs })
+                      ((i, se) :: recvs))
+                  !choices)
+              (out i (fun e -> e.Automaton.sync = Automaton.Send ch))
+          done)
+    net.Network.channels;
+  List.rev !acc
+
+(* Assignments run strictly in order: a clock reset may read variables
+   assigned earlier in the same update list. *)
+let apply_updates (net : Network.t) env clocks parts =
+  List.iter
+    (fun (i, ei) ->
+      let e = Automaton.edge net.Network.automata.(i) ei in
+      List.iter
+        (fun assign ->
+          match assign with
+          | Update.Reset_clock (x, ex) -> clocks.(x) <- Expr.eval env ex
+          | Update.Set_var _ ->
+              Update.apply_env ~ranges:net.Network.var_ranges env [ assign ])
+        e.Automaton.update)
+    parts
+
+let invariants_hold (net : Network.t) c =
+  Array.for_all
+    (fun i ->
+      let inv =
+        (Automaton.location net.Network.automata.(i) c.locs.(i)).Automaton.invariant
+      in
+      Guard.sat_clocks c.env inv c.clocks && Guard.data_holds c.env inv)
+    (Array.init (Array.length c.locs) (fun i -> i))
+
+let apply (net : Network.t) c move =
+  match move with
+  | Delay d ->
+      if d < 0 then invalid_arg "Concrete.apply: negative delay";
+      (match max_delay net c with
+      | Some m when d > m -> invalid_arg "Concrete.apply: delay forbidden"
+      | Some _ | None -> ());
+      let clocks = Array.mapi (fun i v -> if i = 0 then 0 else v + d) c.clocks in
+      { c with clocks }
+  | Fire label ->
+      let parts =
+        match label with
+        | Semantics.Internal { comp; edge } -> [ (comp, edge) ]
+        | Semantics.Sync { sender; receivers; _ } -> sender :: receivers
+      in
+      if
+        not
+          (List.for_all (fun p -> edge_enabled net c p) parts
+          && List.mem label (fireable net c))
+      then invalid_arg "Concrete.apply: transition not enabled";
+      let env = Array.copy c.env in
+      let clocks = Array.copy c.clocks in
+      let locs = Array.copy c.locs in
+      (* updates first (sequential, sender first), then location moves *)
+      apply_updates net env clocks parts;
+      List.iter
+        (fun (i, ei) ->
+          locs.(i) <- (Automaton.edge net.Network.automata.(i) ei).Automaton.dst)
+        parts;
+      let c' = { locs; env; clocks } in
+      if not (invariants_hold net c') then
+        invalid_arg "Concrete.apply: target invariant violated";
+      c'
+
+let random_walk net ~seed ~steps ~max_step_delay =
+  let rng = Ita_util.Prng.create seed in
+  let rec go c k acc =
+    if k = 0 then List.rev acc
+    else begin
+      (* random admissible delay *)
+      let dmax =
+        match max_delay net c with
+        | None -> max_step_delay
+        | Some m -> min m max_step_delay
+      in
+      let d = if dmax > 0 then Ita_util.Prng.int rng (dmax + 1) else 0 in
+      let c = if d > 0 then apply net c (Delay d) else c in
+      let acc = if d > 0 then (Delay d, c) :: acc else acc in
+      match fireable net c with
+      | [] ->
+          if d = 0 then List.rev acc (* deadlock *)
+          else go c (k - 1) acc
+      | moves ->
+          let label = List.nth moves (Ita_util.Prng.int rng (List.length moves)) in
+          let c' = apply net c (Fire label) in
+          go c' (k - 1) ((Fire label, c') :: acc)
+    end
+  in
+  go (initial net) steps []

@@ -1,0 +1,46 @@
+(** Concrete execution of a network: integer-valued clocks, explicit
+    delays and discrete moves.
+
+    This is the ground-truth semantics the zone-based engine abstracts:
+    a configuration is a location vector, a variable valuation and an
+    integer clock valuation.  Its two uses:
+
+    - random walks cross-validate the symbolic engine (every visited
+      concrete state must be covered by some explored zone — see the
+      test suite);
+    - quick interactive simulation of hand-written models.
+
+    Integer delays only: for the closed guards this library generates
+    (and any model whose constants are integers), integer time points
+    suffice to hit every location/guard combination reachable at
+    integer-commensurate times; the random walk is a sound sampler of
+    real behaviors either way. *)
+
+type t = {
+  locs : int array;
+  env : int array;
+  clocks : int array;  (** index 0 is the constant reference clock *)
+}
+
+type move =
+  | Delay of int
+  | Fire of Semantics.label
+
+val initial : Network.t -> t
+
+val max_delay : Network.t -> t -> int option
+(** Largest integer delay permitted by invariants, urgency and
+    committedness; [None] when unbounded. *)
+
+val fireable : Network.t -> t -> Semantics.label list
+(** Discrete transitions enabled right now (guards evaluated on the
+    concrete valuation, committed filtering applied). *)
+
+val apply : Network.t -> t -> move -> t
+(** @raise Invalid_argument on a move that is not allowed. *)
+
+val random_walk :
+  Network.t -> seed:int -> steps:int -> max_step_delay:int -> (move * t) list
+(** Alternate random admissible delays and random enabled transitions,
+    starting from {!initial}; stops early in a deadlock.  Returns the
+    visited states after each move, most recent last. *)

@@ -1,0 +1,121 @@
+type var = int
+
+type iexp =
+  | Int of int
+  | Var of var
+  | Add of iexp * iexp
+  | Sub of iexp * iexp
+  | Mul of iexp * iexp
+  | Div of iexp * iexp
+  | Neg of iexp
+  | Ite of bexp * iexp * iexp
+
+and bexp =
+  | True
+  | False
+  | Cmp of cmp * iexp * iexp
+  | And of bexp * bexp
+  | Or of bexp * bexp
+  | Not of bexp
+
+and cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+exception Division_by_zero of iexp
+
+let rec eval env = function
+  | Int c -> c
+  | Var v -> env.(v)
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Div (a, b) as e ->
+      let d = eval env b in
+      if d = 0 then raise (Division_by_zero e) else eval env a / d
+  | Neg a -> -eval env a
+  | Ite (c, a, b) -> if eval_bool env c then eval env a else eval env b
+
+and eval_bool env = function
+  | True -> true
+  | False -> false
+  | Cmp (op, a, b) -> (
+      let x = eval env a and y = eval env b in
+      match op with
+      | Eq -> x = y
+      | Ne -> x <> y
+      | Lt -> x < y
+      | Le -> x <= y
+      | Gt -> x > y
+      | Ge -> x >= y)
+  | And (a, b) -> eval_bool env a && eval_bool env b
+  | Or (a, b) -> eval_bool env a || eval_bool env b
+  | Not a -> not (eval_bool env a)
+
+let rec interval ranges = function
+  | Int c -> (c, c)
+  | Var v -> ranges.(v)
+  | Add (a, b) ->
+      let la, ha = interval ranges a and lb, hb = interval ranges b in
+      (la + lb, ha + hb)
+  | Sub (a, b) ->
+      let la, ha = interval ranges a and lb, hb = interval ranges b in
+      (la - hb, ha - lb)
+  | Mul (a, b) ->
+      let la, ha = interval ranges a and lb, hb = interval ranges b in
+      let cands = [ la * lb; la * hb; ha * lb; ha * hb ] in
+      (List.fold_left min max_int cands, List.fold_left max min_int cands)
+  | Div (a, _) ->
+      (* conservative: |a / b| <= |a| for |b| >= 1 *)
+      let la, ha = interval ranges a in
+      let m = max (abs la) (abs ha) in
+      (-m, m)
+  | Neg a ->
+      let la, ha = interval ranges a in
+      (-ha, -la)
+  | Ite (_, a, b) ->
+      let la, ha = interval ranges a and lb, hb = interval ranges b in
+      (min la lb, max ha hb)
+
+let rec ivars = function
+  | Int _ -> []
+  | Var v -> [ v ]
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> ivars a @ ivars b
+  | Neg a -> ivars a
+  | Ite (c, a, b) -> bvars c @ ivars a @ ivars b
+
+and bvars = function
+  | True | False -> []
+  | Cmp (_, a, b) -> ivars a @ ivars b
+  | And (a, b) | Or (a, b) -> bvars a @ bvars b
+  | Not a -> bvars a
+
+let string_of_cmp = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_iexp names ppf = function
+  | Int c -> Format.pp_print_int ppf c
+  | Var v -> Format.pp_print_string ppf names.(v)
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" (pp_iexp names) a (pp_iexp names) b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" (pp_iexp names) a (pp_iexp names) b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" (pp_iexp names) a (pp_iexp names) b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" (pp_iexp names) a (pp_iexp names) b
+  | Neg a -> Format.fprintf ppf "-%a" (pp_iexp names) a
+  | Ite (c, a, b) ->
+      Format.fprintf ppf "(%a ? %a : %a)" (pp_bexp names) c (pp_iexp names) a
+        (pp_iexp names) b
+
+and pp_bexp names ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" (pp_iexp names) a (string_of_cmp op)
+        (pp_iexp names) b
+  | And (a, b) ->
+      Format.fprintf ppf "(%a && %a)" (pp_bexp names) a (pp_bexp names) b
+  | Or (a, b) ->
+      Format.fprintf ppf "(%a || %a)" (pp_bexp names) a (pp_bexp names) b
+  | Not a -> Format.fprintf ppf "!%a" (pp_bexp names) a

@@ -1,0 +1,48 @@
+(** Integer and boolean expressions over bounded integer variables.
+
+    Variables are identified by their index in the network's variable
+    environment (an [int array]); name resolution happens in
+    {!Network.Builder}.  Expressions appear in edge guards, location
+    invariants (as clock-bound right-hand sides) and updates. *)
+
+type var = int
+(** Index into the integer-variable environment. *)
+
+type iexp =
+  | Int of int
+  | Var of var
+  | Add of iexp * iexp
+  | Sub of iexp * iexp
+  | Mul of iexp * iexp
+  | Div of iexp * iexp
+  | Neg of iexp
+  | Ite of bexp * iexp * iexp
+
+and bexp =
+  | True
+  | False
+  | Cmp of cmp * iexp * iexp
+  | And of bexp * bexp
+  | Or of bexp * bexp
+  | Not of bexp
+
+and cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+exception Division_by_zero of iexp
+
+val eval : int array -> iexp -> int
+(** [eval env e]; raises {!Division_by_zero} on a zero divisor. *)
+
+val eval_bool : int array -> bexp -> bool
+
+val interval : (int * int) array -> iexp -> int * int
+(** [interval ranges e] is a conservative [(lo, hi)] enclosure of [e]
+    given per-variable ranges; used to derive static clock-extrapolation
+    constants from guards whose right-hand sides mention variables. *)
+
+val ivars : iexp -> var list
+val bvars : bexp -> var list
+
+val pp_iexp : string array -> Format.formatter -> iexp -> unit
+val pp_bexp : string array -> Format.formatter -> bexp -> unit
+(** Printers take the variable-name table. *)

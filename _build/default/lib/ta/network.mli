@@ -1,0 +1,74 @@
+(** Networks of timed automata: the parallel composition the checker
+    explores.
+
+    A network owns the global clock set (index [0] is the reference
+    clock), the bounded integer variables, the channels and the
+    component automata.  {!Builder} is the only way to construct one;
+    it performs the static checks that keep the symbolic semantics
+    sound:
+
+    - edges synchronizing on an urgent channel carry no clock guards;
+    - receiving edges of broadcast channels carry no clock guards;
+    - guards are diagonal-free by construction ({!Guard.t}).
+
+    [build] also derives the per-clock maximal constants used for zone
+    extrapolation from every guard, invariant and reset in the model;
+    queries that compare clocks against further constants must register
+    them with {!bump_clock_bound}. *)
+
+type t = {
+  automata : Automaton.t array;
+  clock_names : string array;
+  var_names : string array;
+  var_ranges : (int * int) array;
+  var_init : int array;
+  channels : Channel.t array;
+  k : int array;  (** extrapolation constants, [k.(0) = 0] *)
+  active : bool array array array;
+      (** [active.(comp).(loc).(clock)]: location-based clock activity
+          (Daws-Yovine): a clock is active at a location when some path
+          from it can test the clock before resetting it.  The checker
+          normalizes inactive clocks to 0, collapsing zones that differ
+          only in dead clock values. *)
+  pinned : bool array;
+      (** clocks observed from outside the model (query clocks); always
+          treated as active *)
+}
+
+exception Invalid_model of string
+
+val n_clocks : t -> int
+(** Number of real clocks (excluding the reference clock). *)
+
+val n_components : t -> int
+
+val bump_clock_bound : t -> Guard.clock -> int -> t
+(** [bump_clock_bound net x c] returns a network whose extrapolation
+    constant for [x] is at least [c] and which pins [x] as always
+    active (queries observe it); shares everything else. *)
+
+val component_index : t -> string -> int
+(** @raise Not_found on unknown automaton name. *)
+
+val clock_index : t -> string -> Guard.clock
+val var_index : t -> string -> Expr.var
+
+val pp_locs : t -> Format.formatter -> int array -> unit
+(** Print a location vector as [RAD.idle | BUS.sending ...]. *)
+
+module Builder : sig
+  type network = t
+  type b
+
+  val create : unit -> b
+
+  val clock : b -> string -> Guard.clock
+  (** Declare a clock; names must be unique. *)
+
+  val int_var : b -> string -> lo:int -> hi:int -> init:int -> Expr.var
+  val channel : b -> string -> Channel.kind -> urgent:bool -> Channel.id
+  val add_automaton : b -> Automaton.t -> unit
+
+  val build : b -> network
+  (** @raise Invalid_model when a static check fails. *)
+end

@@ -1,0 +1,69 @@
+let pp_sync ~(channels : Channel.t array) ppf = function
+  | Automaton.NoSync -> ()
+  | Automaton.Send c -> Format.fprintf ppf " %s!" channels.(c).Channel.name
+  | Automaton.Recv c -> Format.fprintf ppf " %s?" channels.(c).Channel.name
+
+let pp_automaton ~clock_names ~var_names ~channels ppf (a : Automaton.t) =
+  Format.fprintf ppf "@[<v2>automaton %s:@," a.Automaton.name;
+  Array.iteri
+    (fun i (l : Automaton.location) ->
+      let kind =
+        match l.Automaton.kind with
+        | Automaton.Normal -> ""
+        | Automaton.Urgent -> " urgent"
+        | Automaton.Committed -> " committed"
+      in
+      Format.fprintf ppf "@[<h>loc %s%s%s" l.Automaton.loc_name kind
+        (if i = a.Automaton.initial then " (initial)" else "");
+      if not (Guard.is_trivial l.Automaton.invariant) then
+        Format.fprintf ppf "  inv: %a"
+          (Guard.pp ~clock_names ~var_names)
+          l.Automaton.invariant;
+      Format.fprintf ppf "@]@,";
+      List.iter
+        (fun ei ->
+          let e = Automaton.edge a ei in
+          Format.fprintf ppf "@[<h>  -> %s"
+            (Automaton.location a e.Automaton.dst).Automaton.loc_name;
+          if not (Guard.is_trivial e.Automaton.guard) then
+            Format.fprintf ppf "  when %a"
+              (Guard.pp ~clock_names ~var_names)
+              e.Automaton.guard;
+          pp_sync ~channels ppf e.Automaton.sync;
+          if e.Automaton.update <> Update.none then
+            Format.fprintf ppf "  do %a"
+              (Update.pp ~clock_names ~var_names)
+              e.Automaton.update;
+          Format.fprintf ppf "@]@,")
+        (Automaton.out_edges a i))
+    a.Automaton.locations;
+  Format.fprintf ppf "@]"
+
+let pp_network ppf (net : Network.t) =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "clocks:";
+  Array.iteri
+    (fun i c -> if i > 0 then Format.fprintf ppf " %s" c)
+    net.Network.clock_names;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun v name ->
+      let lo, hi = net.Network.var_ranges.(v) in
+      Format.fprintf ppf "var %s : [%d, %d] = %d@," name lo hi
+        net.Network.var_init.(v))
+    net.Network.var_names;
+  Array.iter
+    (fun (c : Channel.t) ->
+      Format.fprintf ppf "chan %s%s%s@," c.Channel.name
+        (match c.Channel.kind with
+        | Channel.Broadcast -> " broadcast"
+        | Channel.Binary -> "")
+        (if c.Channel.urgent then " urgent" else ""))
+    net.Network.channels;
+  Array.iter
+    (fun a ->
+      pp_automaton ~clock_names:net.Network.clock_names
+        ~var_names:net.Network.var_names ~channels:net.Network.channels ppf a;
+      Format.fprintf ppf "@,")
+    net.Network.automata;
+  Format.fprintf ppf "@]"

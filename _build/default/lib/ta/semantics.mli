@@ -1,0 +1,51 @@
+(** Symbolic (zone-graph) semantics of a network, following UPPAAL:
+
+    - a symbolic configuration is [(location vector, integer valuation,
+      zone)], with the zone already delay-closed and constrained by the
+      active invariants;
+    - delay is forbidden while some component is in an urgent or
+      committed location, or some urgent-channel synchronization is
+      enabled (such edges carry no clock guards, so enabledness only
+      depends on the discrete part);
+    - while some component is in a committed location, only transitions
+      leaving a committed location may fire;
+    - after each discrete step the zone is delay-closed (unless delay
+      is forbidden), re-constrained by invariants and extrapolated with
+      the network's maximal constants. *)
+
+module Dbm = Ita_dbm.Dbm
+
+type state = { locs : int array; env : int array }
+(** The discrete part of a configuration. *)
+
+type config = { state : state; zone : Dbm.t }
+
+type label =
+  | Internal of { comp : int; edge : int }
+  | Sync of {
+      chan : Channel.id;
+      sender : int * int;  (** component, edge *)
+      receivers : (int * int) list;
+    }
+
+val state_equal : state -> state -> bool
+val state_hash : state -> int
+
+val initial : Network.t -> config
+
+val delay_allowed : Network.t -> state -> bool
+
+val successors : Network.t -> config -> (label * config) list
+(** All symbolic successors, in deterministic order.  Configurations
+    with empty zones are filtered out.  @raise Update.Out_of_range on a
+    variable-range violation (a modeling error). *)
+
+val zone_of_goal :
+  Network.t -> config -> Guard.t -> comp_locs:(int * int) list -> Dbm.t option
+(** [zone_of_goal net c g ~comp_locs] is [Some z] when configuration
+    [c] intersects the goal "components are at the given locations and
+    [g] holds", where [z] is that non-empty intersection; [None]
+    otherwise.  Used by reachability queries. *)
+
+val pp_label : Network.t -> Format.formatter -> label -> unit
+val pp_state : Network.t -> Format.formatter -> state -> unit

@@ -1,0 +1,1 @@
+lib/tafmt/ast.mli:

@@ -1,0 +1,1 @@
+lib/tafmt/elaborate.ml: Array Ast Automaton Channel Expr Guard Hashtbl Ita_mc Ita_ta List Network Parser Printf String Update

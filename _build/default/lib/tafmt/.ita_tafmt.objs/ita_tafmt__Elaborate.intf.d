@@ -1,0 +1,1 @@
+lib/tafmt/elaborate.mli: Ast Guard Ita_mc Ita_ta Network

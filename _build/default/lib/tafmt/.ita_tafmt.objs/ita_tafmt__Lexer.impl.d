@@ -1,0 +1,1 @@
+lib/tafmt/lexer.ml: List Printf String

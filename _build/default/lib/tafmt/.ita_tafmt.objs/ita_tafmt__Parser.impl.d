@@ -1,0 +1,1 @@
+lib/tafmt/parser.ml: Ast Lexer List Printf

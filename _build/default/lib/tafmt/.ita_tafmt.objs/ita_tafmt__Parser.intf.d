@@ -1,0 +1,1 @@
+lib/tafmt/parser.mli: Ast

@@ -1,0 +1,83 @@
+(** Abstract syntax of the textual network format (.ta files).
+
+    The format covers everything the library's semantics supports:
+
+    {v
+    // declarations
+    clock x y
+    var n 0 8 0              // name lo hi init
+    chan c                   // binary channel
+    broadcast chan done_     // broadcast channel
+    urgent broadcast chan hurry
+
+    process P {
+      init loc L0 inv x <= 5
+      committed loc Seen
+      urgent loc U
+      loc L1
+      edge L0 -> L1 when x >= 1 && n == 0 sync c! do x := 0, n := n + 1
+      edge L1 -> L0 sync c?
+    }
+
+    query reach P.L1 && x >= 3
+    query sup x at P.L1
+    v}
+
+    Identifiers are resolved (clock vs variable, channels, locations)
+    during elaboration, not parsing. *)
+
+type binop = Add | Sub | Mul | Div
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type exp =
+  | Int of int
+  | Ident of string
+  | Binop of binop * exp * exp
+  | Neg of exp
+  | Cmp of cmp * exp * exp
+  | And of exp * exp
+  | Or of exp * exp
+  | Not of exp
+  | Bool of bool
+
+type chan_decl = { chan_name : string; broadcast : bool; urgent : bool }
+
+type loc_decl = {
+  loc_name : string;
+  loc_kind : [ `Normal | `Urgent | `Committed ];
+  loc_init : bool;
+  loc_inv : exp option;
+}
+
+type sync_decl = No_sync | Send of string | Recv of string
+
+type assign_decl = { target : string; value : exp }
+
+type edge_decl = {
+  edge_src : string;
+  edge_dst : string;
+  edge_guard : exp option;
+  edge_sync : sync_decl;
+  edge_updates : assign_decl list;
+}
+
+type process_decl = {
+  proc_name : string;
+  locs : loc_decl list;
+  edges : edge_decl list;
+}
+
+type query_decl =
+  | Reach of exp  (** atoms may be [P.Loc] location predicates *)
+  | Sup of { sup_clock : string; sup_at : exp }
+  | Deadlock  (** is a state with no discrete successor reachable? *)
+
+type decl =
+  | Clocks of string list
+  | Var of { var_name : string; lo : int; hi : int; init : int }
+  | Chan of chan_decl
+  | Process of process_decl
+  | Query of query_decl
+
+type t = decl list

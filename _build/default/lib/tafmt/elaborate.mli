@@ -1,0 +1,21 @@
+(** Name resolution and translation from the parsed {!Ast.t} to a
+    checkable {!Ita_ta.Network.t} plus its queries. *)
+
+open Ita_ta
+
+exception Elab_error of string
+
+type query =
+  | Reach_q of Ita_mc.Query.t
+  | Sup_q of { clock : Guard.clock; at : Ita_mc.Query.t }
+  | Deadlock_q
+
+type t = { net : Network.t; queries : query list }
+
+val elaborate : Ast.t -> t
+(** @raise Elab_error on unresolved names, clock constraints under
+    disjunction/negation, or comparisons between two clocks.
+    @raise Network.Invalid_model via the builder's static checks. *)
+
+val load_file : string -> t
+(** Parse and elaborate. *)

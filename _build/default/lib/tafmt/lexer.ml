@@ -1,0 +1,117 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+exception Lex_error of { line : int; message : string }
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line_no : int;
+  mutable lookahead : token option;
+}
+
+let keywords =
+  [
+    "clock"; "var"; "chan"; "broadcast"; "urgent"; "process"; "loc"; "init";
+    "committed"; "edge"; "when"; "sync"; "do"; "inv"; "query"; "reach";
+    "sup"; "at"; "true"; "false"; "deadlock";
+  ]
+
+let of_string src = { src; pos = 0; line_no = 1; lookahead = None }
+let line lx = lx.line_no
+
+let error lx fmt =
+  Printf.ksprintf
+    (fun message -> raise (Lex_error { line = lx.line_no; message }))
+    fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let rec skip_space lx =
+  if lx.pos < String.length lx.src then begin
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+        lx.pos <- lx.pos + 1;
+        skip_space lx
+    | '\n' ->
+        lx.pos <- lx.pos + 1;
+        lx.line_no <- lx.line_no + 1;
+        skip_space lx
+    | '/'
+      when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+        while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+          lx.pos <- lx.pos + 1
+        done;
+        skip_space lx
+    | _ -> ()
+  end
+
+let scan lx =
+  skip_space lx;
+  if lx.pos >= String.length lx.src then EOF
+  else begin
+    let c = lx.src.[lx.pos] in
+    if (c >= '0' && c <= '9') || (c = '-' && lx.pos + 1 < String.length lx.src
+                                  && lx.src.[lx.pos + 1] >= '0'
+                                  && lx.src.[lx.pos + 1] <= '9') then begin
+      let start = lx.pos in
+      if c = '-' then lx.pos <- lx.pos + 1;
+      while
+        lx.pos < String.length lx.src
+        && lx.src.[lx.pos] >= '0'
+        && lx.src.[lx.pos] <= '9'
+      do
+        lx.pos <- lx.pos + 1
+      done;
+      INT (int_of_string (String.sub lx.src start (lx.pos - start)))
+    end
+    else if is_ident_char c && not (c >= '0' && c <= '9') then begin
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      let word = String.sub lx.src start (lx.pos - start) in
+      if List.mem word keywords then KW word else IDENT word
+    end
+    else begin
+      let two =
+        if lx.pos + 1 < String.length lx.src then
+          String.sub lx.src lx.pos 2
+        else ""
+      in
+      match two with
+      | "->" | "<=" | ">=" | "==" | "!=" | "&&" | "||" | ":=" ->
+          lx.pos <- lx.pos + 2;
+          PUNCT two
+      | _ -> (
+          match c with
+          | '{' | '}' | '(' | ')' | ',' | '<' | '>' | '!' | '?' | '+' | '-'
+          | '*' | '/' | '=' ->
+              lx.pos <- lx.pos + 1;
+              PUNCT (String.make 1 c)
+          | _ -> error lx "unexpected character %C" c)
+    end
+  end
+
+let peek lx =
+  match lx.lookahead with
+  | Some t -> t
+  | None ->
+      let t = scan lx in
+      lx.lookahead <- Some t;
+      t
+
+let next lx =
+  match lx.lookahead with
+  | Some t ->
+      lx.lookahead <- None;
+      t
+  | None -> scan lx

@@ -1,0 +1,18 @@
+(** Hand-written lexer for the .ta format. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** reserved word *)
+  | PUNCT of string  (** operators and punctuation *)
+  | EOF
+
+exception Lex_error of { line : int; message : string }
+
+type t
+
+val of_string : string -> t
+val line : t -> int
+val peek : t -> token
+val next : t -> token
+(** Consumes and returns the current token. *)

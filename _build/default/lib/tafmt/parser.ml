@@ -1,0 +1,271 @@
+exception Parse_error of { line : int; message : string }
+
+let error lx fmt =
+  Printf.ksprintf
+    (fun message -> raise (Parse_error { line = Lexer.line lx; message }))
+    fmt
+
+let token_str = function
+  | Lexer.INT n -> string_of_int n
+  | Lexer.IDENT s -> s
+  | Lexer.KW s -> s
+  | Lexer.PUNCT s -> s
+  | Lexer.EOF -> "<eof>"
+
+let expect lx tok =
+  let t = Lexer.next lx in
+  if t <> tok then error lx "expected %s, found %s" (token_str tok) (token_str t)
+
+let ident lx =
+  match Lexer.next lx with
+  | Lexer.IDENT s -> s
+  | t -> error lx "expected identifier, found %s" (token_str t)
+
+let int lx =
+  match Lexer.next lx with
+  | Lexer.INT n -> n
+  | t -> error lx "expected integer, found %s" (token_str t)
+
+(* Expressions: precedence climbing.
+   ||  <  &&  <  comparisons  <  + -  <  * /  <  unary *)
+
+let cmp_of = function
+  | "==" -> Some Ast.Eq
+  | "!=" -> Some Ast.Ne
+  | "<" -> Some Ast.Lt
+  | "<=" -> Some Ast.Le
+  | ">" -> Some Ast.Gt
+  | ">=" -> Some Ast.Ge
+  | _ -> None
+
+let rec parse_or lx =
+  let lhs = parse_and lx in
+  match Lexer.peek lx with
+  | Lexer.PUNCT "||" ->
+      ignore (Lexer.next lx);
+      Ast.Or (lhs, parse_or lx)
+  | _ -> lhs
+
+and parse_and lx =
+  let lhs = parse_cmp lx in
+  match Lexer.peek lx with
+  | Lexer.PUNCT "&&" ->
+      ignore (Lexer.next lx);
+      Ast.And (lhs, parse_and lx)
+  | _ -> lhs
+
+and parse_cmp lx =
+  let lhs = parse_addsub lx in
+  match Lexer.peek lx with
+  | Lexer.PUNCT p -> (
+      match cmp_of p with
+      | Some op ->
+          ignore (Lexer.next lx);
+          Ast.Cmp (op, lhs, parse_addsub lx)
+      | None -> lhs)
+  | _ -> lhs
+
+and parse_addsub lx =
+  let rec go lhs =
+    match Lexer.peek lx with
+    | Lexer.PUNCT "+" ->
+        ignore (Lexer.next lx);
+        go (Ast.Binop (Ast.Add, lhs, parse_muldiv lx))
+    | Lexer.PUNCT "-" ->
+        ignore (Lexer.next lx);
+        go (Ast.Binop (Ast.Sub, lhs, parse_muldiv lx))
+    | _ -> lhs
+  in
+  go (parse_muldiv lx)
+
+and parse_muldiv lx =
+  let rec go lhs =
+    match Lexer.peek lx with
+    | Lexer.PUNCT "*" ->
+        ignore (Lexer.next lx);
+        go (Ast.Binop (Ast.Mul, lhs, parse_unary lx))
+    | Lexer.PUNCT "/" ->
+        ignore (Lexer.next lx);
+        go (Ast.Binop (Ast.Div, lhs, parse_unary lx))
+    | _ -> lhs
+  in
+  go (parse_unary lx)
+
+and parse_unary lx =
+  match Lexer.next lx with
+  | Lexer.INT n -> Ast.Int n
+  | Lexer.IDENT s -> Ast.Ident s
+  | Lexer.KW "true" -> Ast.Bool true
+  | Lexer.KW "false" -> Ast.Bool false
+  | Lexer.PUNCT "-" -> Ast.Neg (parse_unary lx)
+  | Lexer.PUNCT "!" -> Ast.Not (parse_unary lx)
+  | Lexer.PUNCT "(" ->
+      let e = parse_or lx in
+      expect lx (Lexer.PUNCT ")");
+      e
+  | t -> error lx "expected expression, found %s" (token_str t)
+
+(* Declarations *)
+
+let parse_assign lx =
+  let target = ident lx in
+  (match Lexer.next lx with
+  | Lexer.PUNCT ":=" | Lexer.PUNCT "=" -> ()
+  | t -> error lx "expected := in update, found %s" (token_str t));
+  let value = parse_or lx in
+  { Ast.target; value }
+
+let rec parse_assigns lx acc =
+  let a = parse_assign lx in
+  match Lexer.peek lx with
+  | Lexer.PUNCT "," ->
+      ignore (Lexer.next lx);
+      parse_assigns lx (a :: acc)
+  | _ -> List.rev (a :: acc)
+
+let parse_edge lx =
+  let edge_src = ident lx in
+  expect lx (Lexer.PUNCT "->");
+  let edge_dst = ident lx in
+  let edge_guard = ref None in
+  let edge_sync = ref Ast.No_sync in
+  let edge_updates = ref [] in
+  let rec clauses () =
+    match Lexer.peek lx with
+    | Lexer.KW "when" ->
+        ignore (Lexer.next lx);
+        edge_guard := Some (parse_or lx);
+        clauses ()
+    | Lexer.KW "sync" ->
+        ignore (Lexer.next lx);
+        let c = ident lx in
+        (match Lexer.next lx with
+        | Lexer.PUNCT "!" -> edge_sync := Ast.Send c
+        | Lexer.PUNCT "?" -> edge_sync := Ast.Recv c
+        | t -> error lx "expected ! or ? after channel, found %s" (token_str t));
+        clauses ()
+    | Lexer.KW "do" ->
+        ignore (Lexer.next lx);
+        edge_updates := parse_assigns lx [];
+        clauses ()
+    | _ -> ()
+  in
+  clauses ();
+  {
+    Ast.edge_src;
+    edge_dst;
+    edge_guard = !edge_guard;
+    edge_sync = !edge_sync;
+    edge_updates = !edge_updates;
+  }
+
+let parse_loc lx ~kind ~init =
+  let loc_name = ident lx in
+  let loc_inv =
+    match Lexer.peek lx with
+    | Lexer.KW "inv" ->
+        ignore (Lexer.next lx);
+        Some (parse_or lx)
+    | _ -> None
+  in
+  { Ast.loc_name; loc_kind = kind; loc_init = init; loc_inv }
+
+let parse_process lx =
+  let proc_name = ident lx in
+  expect lx (Lexer.PUNCT "{");
+  let locs = ref [] and edges = ref [] in
+  let rec body () =
+    match Lexer.next lx with
+    | Lexer.PUNCT "}" -> ()
+    | Lexer.KW "init" ->
+        (* optional kind prefix after init, e.g. "init committed loc" *)
+        let kind =
+          match Lexer.peek lx with
+          | Lexer.KW "committed" ->
+              ignore (Lexer.next lx);
+              `Committed
+          | Lexer.KW "urgent" ->
+              ignore (Lexer.next lx);
+              `Urgent
+          | _ -> `Normal
+        in
+        expect lx (Lexer.KW "loc");
+        locs := parse_loc lx ~kind ~init:true :: !locs;
+        body ()
+    | Lexer.KW "committed" ->
+        expect lx (Lexer.KW "loc");
+        locs := parse_loc lx ~kind:`Committed ~init:false :: !locs;
+        body ()
+    | Lexer.KW "urgent" ->
+        expect lx (Lexer.KW "loc");
+        locs := parse_loc lx ~kind:`Urgent ~init:false :: !locs;
+        body ()
+    | Lexer.KW "loc" ->
+        locs := parse_loc lx ~kind:`Normal ~init:false :: !locs;
+        body ()
+    | Lexer.KW "edge" ->
+        edges := parse_edge lx :: !edges;
+        body ()
+    | t -> error lx "unexpected %s in process body" (token_str t)
+  in
+  body ();
+  { Ast.proc_name; locs = List.rev !locs; edges = List.rev !edges }
+
+let parse_chan lx ~broadcast ~urgent =
+  let chan_name = ident lx in
+  { Ast.chan_name; broadcast; urgent }
+
+let parse_query lx =
+  match Lexer.next lx with
+  | Lexer.KW "deadlock" -> Ast.Deadlock
+  | Lexer.KW "reach" -> Ast.Reach (parse_or lx)
+  | Lexer.KW "sup" ->
+      let sup_clock = ident lx in
+      expect lx (Lexer.KW "at");
+      let sup_at = parse_or lx in
+      Ast.Sup { sup_clock; sup_at }
+  | t -> error lx "expected reach or sup, found %s" (token_str t)
+
+let parse_decls lx =
+  let rec go acc =
+    match Lexer.next lx with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.KW "clock" ->
+        let rec names ns =
+          match Lexer.peek lx with
+          | Lexer.IDENT _ -> names (ident lx :: ns)
+          | _ -> List.rev ns
+        in
+        go (Ast.Clocks (names []) :: acc)
+    | Lexer.KW "var" ->
+        let var_name = ident lx in
+        let lo = int lx in
+        let hi = int lx in
+        let init = int lx in
+        go (Ast.Var { var_name; lo; hi; init } :: acc)
+    | Lexer.KW "chan" -> go (Ast.Chan (parse_chan lx ~broadcast:false ~urgent:false) :: acc)
+    | Lexer.KW "broadcast" ->
+        expect lx (Lexer.KW "chan");
+        go (Ast.Chan (parse_chan lx ~broadcast:true ~urgent:false) :: acc)
+    | Lexer.KW "urgent" -> (
+        match Lexer.next lx with
+        | Lexer.KW "chan" ->
+            go (Ast.Chan (parse_chan lx ~broadcast:false ~urgent:true) :: acc)
+        | Lexer.KW "broadcast" ->
+            expect lx (Lexer.KW "chan");
+            go (Ast.Chan (parse_chan lx ~broadcast:true ~urgent:true) :: acc)
+        | t -> error lx "expected chan after urgent, found %s" (token_str t))
+    | Lexer.KW "process" -> go (Ast.Process (parse_process lx) :: acc)
+    | Lexer.KW "query" -> go (Ast.Query (parse_query lx) :: acc)
+    | t -> error lx "unexpected %s at top level" (token_str t)
+  in
+  go []
+
+let parse_string src = parse_decls (Lexer.of_string src)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string src

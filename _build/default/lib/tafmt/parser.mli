@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the .ta format. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Ast.t
+(** @raise Parse_error and @raise Lexer.Lex_error on bad input. *)
+
+val parse_file : string -> Ast.t
+(** @raise Sys_error when the file cannot be read. *)

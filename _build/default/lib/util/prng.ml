@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g = { state = next g }
+
+let int g n =
+  assert (n > 0);
+  (* [to_int] keeps the low 63 bits, so mask the sign bit explicitly *)
+  let v = Int64.to_int (next g) land max_int in
+  v mod n
+
+let float g x =
+  let v = Int64.to_float (Int64.shift_right_logical (next g) 11) in
+  x *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,25 @@
+(** Small deterministic pseudo-random number generator (splitmix64).
+
+    Used by the random-depth-first search order of the model checker
+    and by the discrete-event simulator.  Independent of [Stdlib.Random]
+    so that analyses are reproducible across OCaml versions and other
+    library users. *)
+
+type t
+
+val create : int -> t
+(** [create seed]; equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [[0, n)]. [n] must be positive. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [[0, x)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

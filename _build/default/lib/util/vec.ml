@@ -1,0 +1,24 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+
+let get v i =
+  assert (i >= 0 && i < v.len);
+  v.data.(i)
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let cap = max 16 (2 * v.len) in
+    let data = Array.make cap x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done

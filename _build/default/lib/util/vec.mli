@@ -1,0 +1,11 @@
+(** Minimal growable array, used for the model checker's node store. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val push : 'a t -> 'a -> int
+(** [push v x] appends and returns the index of [x]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit

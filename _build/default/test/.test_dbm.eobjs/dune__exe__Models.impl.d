@@ -1,0 +1,1 @@
+test/models.ml: Automaton Channel Expr Guard Ita_ta Network Update

@@ -1,0 +1,1 @@
+test/test_casestudy.ml: Alcotest Analyze Eventmodel Ita_casestudy Ita_core Ita_rtc Ita_sim Ita_symta List Printf Sysmodel

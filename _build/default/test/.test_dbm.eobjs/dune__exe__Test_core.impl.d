@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analyze Array Automaton Channel Eventmodel Expr Format Gen Guard Ita_core Ita_mc Ita_rtc Ita_sim Ita_symta Ita_ta List Network Resource Result Scenario Sysmodel Units

@@ -1,0 +1,1 @@
+test/test_dbm.ml: Alcotest Array Ita_dbm List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rtc.ml: Alcotest Eventmodel Ita_casestudy Ita_core Ita_rtc List Printf QCheck2 QCheck_alcotest Resource Scenario Sysmodel

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Eventmodel Ita_core Ita_sim List Option QCheck2 QCheck_alcotest Resource Scenario Sysmodel

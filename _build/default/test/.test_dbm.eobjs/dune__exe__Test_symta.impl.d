@@ -1,0 +1,1 @@
+test/test_symta.ml: Alcotest Eventmodel Ita_casestudy Ita_core Ita_symta List QCheck2 QCheck_alcotest Resource Scenario Sysmodel

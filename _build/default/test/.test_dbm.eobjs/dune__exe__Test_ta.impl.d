@@ -1,0 +1,1 @@
+test/test_ta.ml: Alcotest Array Automaton Channel Expr Guard Ita_dbm Ita_ta List Models Network QCheck2 QCheck_alcotest Semantics Update

@@ -1,0 +1,1 @@
+test/test_tafmt.ml: Alcotest Ita_mc Ita_ta Ita_tafmt List Network Sys

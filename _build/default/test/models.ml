@@ -1,0 +1,153 @@
+(* Small hand-built networks with known answers, shared by the ta and
+   mc test suites. *)
+
+open Ita_ta
+
+let tt = Guard.tt
+
+let loc ?(kind = Automaton.Normal) ?(invariant = tt) loc_name =
+  { Automaton.loc_name; invariant; kind }
+
+let edge ?(guard = tt) ?(sync = Automaton.NoSync) ?(update = Update.none) src
+    dst =
+  { Automaton.src; guard; sync; update; dst }
+
+(* Two-phase automaton: L0 --(1 <= x <= 2, x := 0)--> L1 (inv x <= 4)
+   --(x == 4)--> L2.  Clock [y] is never reset, so on *entering* L2 it
+   ranges over [5, 6]: the canonical sup-query example.  L2 is
+   committed so that time stops there — exactly like the paper's [seen]
+   location of the measuring automaton; otherwise [y] would keep
+   growing at L2 and its sup would rightly be infinite. *)
+let two_phase () =
+  let b = Network.Builder.create () in
+  let x = Network.Builder.clock b "x" in
+  let y = Network.Builder.clock b "y" in
+  let p =
+    Automaton.make ~name:"P"
+      ~locations:
+        [
+          loc "L0";
+          loc "L1" ~invariant:(Guard.clock_le x 4);
+          loc "L2" ~kind:Automaton.Committed;
+        ]
+      ~edges:
+        [
+          edge 0 1
+            ~guard:(Guard.conj (Guard.clock_ge x 1) (Guard.clock_le x 2))
+            ~update:(Update.reset x);
+          edge 1 2 ~guard:(Guard.clock_eq x 4);
+        ]
+      ~initial:0
+  in
+  Network.Builder.add_automaton b p;
+  let net = Network.Builder.build b in
+  (net, x, y)
+
+(* Urgency: T sets [flag] at z == 5; U's urgent [hurry!] edge is then
+   enabled, so time may not pass until U moves. *)
+let urgent_gate () =
+  let b = Network.Builder.create () in
+  let z = Network.Builder.clock b "z" in
+  let flag = Network.Builder.int_var b "flag" ~lo:0 ~hi:1 ~init:0 in
+  let hurry = Network.Builder.channel b "hurry" Channel.Broadcast ~urgent:true in
+  let u =
+    Automaton.make ~name:"U"
+      ~locations:[ loc "L0"; loc "L1" ]
+      ~edges:
+        [
+          edge 0 1
+            ~guard:(Guard.data Expr.(Cmp (Eq, Var flag, Int 1)))
+            ~sync:(Automaton.Send hurry);
+        ]
+      ~initial:0
+  in
+  let t =
+    Automaton.make ~name:"T"
+      ~locations:[ loc "M0" ~invariant:(Guard.clock_le z 5); loc "M1" ]
+      ~edges:
+        [
+          edge 0 1 ~guard:(Guard.clock_eq z 5)
+            ~update:(Update.set flag (Expr.Int 1));
+        ]
+      ~initial:0
+  in
+  Network.Builder.add_automaton b u;
+  Network.Builder.add_automaton b t;
+  (Network.Builder.build b, z)
+
+(* Committed: while A sits in committed K1, the unrelated B may not
+   move. *)
+let committed_gate () =
+  let b = Network.Builder.create () in
+  let w = Network.Builder.clock b "w" in
+  let a =
+    Automaton.make ~name:"A"
+      ~locations:
+        [
+          loc "K0" ~invariant:(Guard.clock_le w 3);
+          loc "K1" ~kind:Automaton.Committed;
+          loc "K2";
+        ]
+      ~edges:[ edge 0 1 ~guard:(Guard.clock_eq w 3); edge 1 2 ]
+      ~initial:0
+  in
+  let bb =
+    Automaton.make ~name:"B"
+      ~locations:[ loc "N0"; loc "N1" ]
+      ~edges:[ edge 0 1 ]
+      ~initial:0
+  in
+  Network.Builder.add_automaton b a;
+  Network.Builder.add_automaton b bb;
+  (Network.Builder.build b, w)
+
+(* Binary handshake: S moves iff R has reached its listening
+   location. *)
+let handshake () =
+  let b = Network.Builder.create () in
+  let z = Network.Builder.clock b "z" in
+  let c = Network.Builder.channel b "c" Channel.Binary ~urgent:false in
+  let s =
+    Automaton.make ~name:"S"
+      ~locations:[ loc "P0"; loc "P1" ]
+      ~edges:[ edge 0 1 ~sync:(Automaton.Send c) ]
+      ~initial:0
+  in
+  let r =
+    Automaton.make ~name:"R"
+      ~locations:[ loc "Q0"; loc "Q1"; loc "Q2" ]
+      ~edges:
+        [
+          edge 0 1 ~guard:(Guard.clock_ge z 2);
+          edge 1 2 ~sync:(Automaton.Recv c);
+        ]
+      ~initial:0
+  in
+  Network.Builder.add_automaton b s;
+  Network.Builder.add_automaton b r;
+  (Network.Builder.build b, z)
+
+(* Broadcast: one sender, two receivers of which only one is enabled;
+   the disabled one must not block and must not move. *)
+let broadcast_pair () =
+  let b = Network.Builder.create () in
+  let ok = Network.Builder.int_var b "ok" ~lo:0 ~hi:1 ~init:1 in
+  let c = Network.Builder.channel b "bc" Channel.Broadcast ~urgent:false in
+  let s =
+    Automaton.make ~name:"S"
+      ~locations:[ loc "P0"; loc "P1" ]
+      ~edges:[ edge 0 1 ~sync:(Automaton.Send c) ]
+      ~initial:0
+  in
+  let recv name guard =
+    Automaton.make ~name
+      ~locations:[ loc "R0"; loc "R1" ]
+      ~edges:[ edge 0 1 ~sync:(Automaton.Recv c) ~guard ]
+      ~initial:0
+  in
+  Network.Builder.add_automaton b s;
+  Network.Builder.add_automaton b
+    (recv "REN" (Guard.data Expr.(Cmp (Eq, Var ok, Int 1))));
+  Network.Builder.add_automaton b
+    (recv "RDIS" (Guard.data Expr.(Cmp (Eq, Var ok, Int 0))));
+  Network.Builder.build b

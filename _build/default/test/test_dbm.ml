@@ -1,0 +1,386 @@
+(* Unit and property tests for the zone substrate (lib/dbm).
+
+   The property tests use concrete integer valuations as the oracle: a
+   DBM operation is correct when membership of sampled valuations
+   transforms the way the corresponding set operation dictates. *)
+
+module Bound = Ita_dbm.Bound
+module Dbm = Ita_dbm.Dbm
+module Federation = Ita_dbm.Federation
+
+(* ------------------------------------------------------------------ *)
+(* Bound encoding                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_bound_order () =
+  Alcotest.(check bool) "lt c < le c" true (Bound.lt_bound (Bound.lt 3) (Bound.le 3));
+  Alcotest.(check bool) "le c < lt (c+1)" true
+    (Bound.lt_bound (Bound.le 3) (Bound.lt 4));
+  Alcotest.(check bool) "finite < inf" true
+    (Bound.lt_bound (Bound.le 1_000_000_000) Bound.infinity);
+  Alcotest.(check bool) "negative bounds ordered" true
+    (Bound.lt_bound (Bound.le (-5)) (Bound.lt (-4)))
+
+let test_bound_add () =
+  let check_add b1 b2 (expect : Bound.t) =
+    Alcotest.(check int) "add" (expect :> int) (Bound.add b1 b2 :> int)
+  in
+  check_add (Bound.le 2) (Bound.le 3) (Bound.le 5);
+  check_add (Bound.le 2) (Bound.lt 3) (Bound.lt 5);
+  check_add (Bound.lt 2) (Bound.lt 3) (Bound.lt 5);
+  check_add (Bound.le (-2)) (Bound.le 3) (Bound.le 1);
+  check_add Bound.infinity (Bound.le 3) Bound.infinity;
+  check_add (Bound.lt 0) Bound.infinity Bound.infinity
+
+let test_bound_negate () =
+  Alcotest.(check int) "negate le" (Bound.lt (-4) :> int)
+    (Bound.negate_weak (Bound.le 4) :> int);
+  Alcotest.(check int) "negate lt" (Bound.le (-4) :> int)
+    (Bound.negate_weak (Bound.lt 4) :> int)
+
+let test_bound_sat () =
+  Alcotest.(check bool) "3 <= 3" true (Bound.sat 3 (Bound.le 3));
+  Alcotest.(check bool) "3 < 3 fails" false (Bound.sat 3 (Bound.lt 3));
+  Alcotest.(check bool) "anything < inf" true (Bound.sat 999999 Bound.infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Basic zone unit tests (2 clocks unless said otherwise)              *)
+(* ------------------------------------------------------------------ *)
+
+let v a b = [| 0; a; b |]
+
+let test_zero_zone () =
+  let z = Dbm.zero 2 in
+  Alcotest.(check bool) "origin in zero" true (Dbm.satisfies z (v 0 0));
+  Alcotest.(check bool) "not (1,0)" false (Dbm.satisfies z (v 1 0));
+  Alcotest.(check bool) "non-empty" false (Dbm.is_empty z)
+
+let test_universal_zone () =
+  let z = Dbm.universal 2 in
+  Alcotest.(check bool) "origin" true (Dbm.satisfies z (v 0 0));
+  Alcotest.(check bool) "(7,3)" true (Dbm.satisfies z (v 7 3));
+  Alcotest.(check bool) "zero subset universal" true
+    (Dbm.subset (Dbm.zero 2) z);
+  Alcotest.(check bool) "universal not subset zero" false
+    (Dbm.subset z (Dbm.zero 2))
+
+let test_up () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Alcotest.(check bool) "diagonal after up" true (Dbm.satisfies z (v 5 5));
+  Alcotest.(check bool) "off-diagonal excluded" false (Dbm.satisfies z (v 5 4))
+
+let test_constrain_empty () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 3);
+  (* x1 <= 3 *)
+  Dbm.constrain z 0 1 (Bound.le (-5));
+  (* x1 >= 5: contradiction *)
+  Alcotest.(check bool) "empty" true (Dbm.is_empty z)
+
+let test_reset () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 10);
+  Dbm.reset z 2 0;
+  (* x2 := 0 while x1 in [0,10] *)
+  Alcotest.(check bool) "(10,0) in" true (Dbm.satisfies z (v 10 0));
+  Alcotest.(check bool) "(10,1) out" false (Dbm.satisfies z (v 10 1));
+  Dbm.up z;
+  Alcotest.(check bool) "(12,2) after up" true (Dbm.satisfies z (v 12 2));
+  Alcotest.(check bool) "x1 - x2 <= 10 kept" false (Dbm.satisfies z (v 13 2))
+
+let test_reset_to_value () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.reset z 1 7;
+  Alcotest.(check bool) "(7, d)" true (Dbm.satisfies z (v 7 3));
+  Alcotest.(check bool) "(6, d)" false (Dbm.satisfies z (v 6 3))
+
+let test_free () =
+  let z = Dbm.zero 2 in
+  Dbm.free z 1;
+  Alcotest.(check bool) "(42, 0)" true (Dbm.satisfies z (v 42 0));
+  Alcotest.(check bool) "x2 still 0" false (Dbm.satisfies z (v 42 1))
+
+let test_intersect () =
+  let z1 = Dbm.zero 2 in
+  Dbm.up z1;
+  Dbm.constrain z1 1 0 (Bound.le 5);
+  let z2 = Dbm.zero 2 in
+  Dbm.up z2;
+  Dbm.constrain z2 0 1 (Bound.le (-3));
+  Dbm.intersect z1 z2;
+  Alcotest.(check bool) "(4,4)" true (Dbm.satisfies z1 (v 4 4));
+  Alcotest.(check bool) "(2,2)" false (Dbm.satisfies z1 (v 2 2));
+  Alcotest.(check bool) "(6,6)" false (Dbm.satisfies z1 (v 6 6))
+
+let test_sup_inf () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 5);
+  Alcotest.(check int) "sup x1" (Bound.le 5 :> int) (Dbm.sup z 1 :> int);
+  Alcotest.(check int) "sup x2 = x1's by diagonal" (Bound.le 5 :> int)
+    (Dbm.sup z 2 :> int);
+  Dbm.constrain z 0 1 (Bound.lt (-2));
+  Alcotest.(check int) "inf x1" (Bound.lt (-2) :> int) (Dbm.inf z 1 :> int)
+
+let test_extrapolate () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 0 1 (Bound.le (-100));
+  (* x1 >= 100, but max constant 10 *)
+  Dbm.constrain z 1 0 (Bound.le 200);
+  let z' = Dbm.copy z in
+  Dbm.extrapolate z' [| 0; 10; 10 |];
+  Alcotest.(check bool) "extrapolation grows the zone" true (Dbm.subset z z');
+  (* beyond the constant, bounds are gone *)
+  Alcotest.(check bool) "upper bound dropped" true
+    (Bound.is_infinity (Dbm.sup z' 1));
+  Alcotest.(check bool) "still excludes small values" false
+    (Dbm.satisfies z' (v 5 5))
+
+let test_extrapolate_idempotent () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 200);
+  let k = [| 0; 10; 10 |] in
+  Dbm.extrapolate z k;
+  let z' = Dbm.copy z in
+  Dbm.extrapolate z' k;
+  Alcotest.(check bool) "idempotent" true (Dbm.equal z z')
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A random zone is built by a random operation sequence from the
+   delay-closure of the origin; sampled valuations come from a small
+   box so that membership is non-trivial. *)
+
+type op =
+  | Up
+  | Constrain of int * int * Bound.t
+  | Reset of int * int
+  | Free of int
+
+let n_clocks = 3
+
+let gen_bound =
+  QCheck2.Gen.(
+    let* c = int_range (-8) 8 in
+    let* strict = bool in
+    return (if strict then Bound.lt c else Bound.le c))
+
+let gen_op =
+  QCheck2.Gen.(
+    let* choice = int_range 0 3 in
+    match choice with
+    | 0 -> return Up
+    | 1 ->
+        let* i = int_range 0 n_clocks in
+        let* j = int_range 0 n_clocks in
+        let* b = gen_bound in
+        return (if i = j then Up else Constrain (i, j, b))
+    | 2 ->
+        let* i = int_range 1 n_clocks in
+        let* c = int_range 0 5 in
+        return (Reset (i, c))
+    | _ ->
+        let* i = int_range 1 n_clocks in
+        return (Free i))
+
+let apply_op z = function
+  | Up -> Dbm.up z
+  | Constrain (i, j, b) -> Dbm.constrain z i j b
+  | Reset (i, c) -> Dbm.reset z i c
+  | Free i -> Dbm.free z i
+
+let gen_zone =
+  QCheck2.Gen.(
+    let* ops = list_size (int_range 0 8) gen_op in
+    return
+      (let z = Dbm.zero n_clocks in
+       Dbm.up z;
+       List.iter (apply_op z) ops;
+       z))
+
+let gen_valuation =
+  QCheck2.Gen.(
+    let* xs = array_size (return n_clocks) (int_range 0 12) in
+    return (Array.append [| 0 |] xs))
+
+let prop_up_membership =
+  QCheck2.Test.make ~count:500 ~name:"up: delayed points stay members"
+    QCheck2.Gen.(tup3 gen_zone gen_valuation (int_range 0 10))
+    (fun (z, val_, d) ->
+      QCheck2.assume (Dbm.satisfies z val_);
+      let z' = Dbm.copy z in
+      Dbm.up z';
+      match Dbm.delay_ordered z' val_ d with
+      | Some _ -> true
+      | None -> false)
+
+let prop_constrain_membership =
+  QCheck2.Test.make ~count:500
+    ~name:"constrain: membership = old membership && atom"
+    QCheck2.Gen.(tup3 gen_zone gen_valuation (tup3 (int_range 0 n_clocks) (int_range 0 n_clocks) gen_bound))
+    (fun (z, val_, (i, j, b)) ->
+      QCheck2.assume (i <> j);
+      let z' = Dbm.copy z in
+      Dbm.constrain z' i j b;
+      let expected =
+        Dbm.satisfies z val_ && Bound.sat (val_.(i) - val_.(j)) b
+      in
+      Dbm.satisfies z' val_ = expected)
+
+let prop_reset_membership =
+  QCheck2.Test.make ~count:500 ~name:"reset: image membership"
+    QCheck2.Gen.(tup3 gen_zone gen_valuation (tup2 (int_range 1 n_clocks) (int_range 0 5)))
+    (fun (z, val_, (i, c)) ->
+      QCheck2.assume (Dbm.satisfies z val_);
+      let z' = Dbm.copy z in
+      Dbm.reset z' i c;
+      let v' = Array.copy val_ in
+      v'.(i) <- c;
+      Dbm.satisfies z' v')
+
+let prop_intersect_membership =
+  QCheck2.Test.make ~count:500 ~name:"intersect: membership is conjunction"
+    QCheck2.Gen.(tup3 gen_zone gen_zone gen_valuation)
+    (fun (z1, z2, val_) ->
+      let z = Dbm.copy z1 in
+      Dbm.intersect z z2;
+      Dbm.satisfies z val_ = (Dbm.satisfies z1 val_ && Dbm.satisfies z2 val_))
+
+let prop_subset_sound =
+  QCheck2.Test.make ~count:500 ~name:"subset: members transfer"
+    QCheck2.Gen.(tup3 gen_zone gen_zone gen_valuation)
+    (fun (z1, z2, val_) ->
+      if Dbm.subset z1 z2 && Dbm.satisfies z1 val_ then Dbm.satisfies z2 val_
+      else true)
+
+let prop_extrapolate_widens =
+  QCheck2.Test.make ~count:500 ~name:"extrapolate: superset of original"
+    gen_zone
+    (fun z ->
+      let z' = Dbm.copy z in
+      Dbm.extrapolate z' [| 0; 8; 8; 8 |];
+      Dbm.subset z z')
+
+let prop_sup_bounds_members =
+  QCheck2.Test.make ~count:500 ~name:"sup bounds all members"
+    QCheck2.Gen.(tup2 gen_zone gen_valuation)
+    (fun (z, val_) ->
+      QCheck2.assume (Dbm.satisfies z val_);
+      let ok = ref true in
+      for i = 1 to n_clocks do
+        if not (Bound.sat val_.(i) (Dbm.sup z i)) then ok := false
+      done;
+      !ok)
+
+let prop_canonical_triangle =
+  QCheck2.Test.make ~count:500
+    ~name:"operations preserve canonical (triangle) form"
+    QCheck2.Gen.(list_size (int_range 0 12) gen_op)
+    (fun ops ->
+      let z = Dbm.zero n_clocks in
+      Dbm.up z;
+      List.iter (apply_op z) ops;
+      Dbm.is_empty z
+      ||
+      let n = n_clocks + 1 in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            if
+              Bound.lt_bound
+                (Bound.add (Dbm.get z i k) (Dbm.get z k j))
+                (Dbm.get z i j)
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_equal_hash =
+  QCheck2.Test.make ~count:500 ~name:"equal zones hash equally"
+    QCheck2.Gen.(tup2 gen_zone gen_zone)
+    (fun (z1, z2) -> (not (Dbm.equal z1 z2)) || Dbm.hash z1 = Dbm.hash z2)
+
+(* ------------------------------------------------------------------ *)
+(* Federation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let box lo hi =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le hi);
+  Dbm.constrain z 0 1 (Bound.le (-lo));
+  z
+
+let test_federation_add () =
+  let f = Federation.empty 2 in
+  let f = Federation.add f (box 0 5) in
+  let f = Federation.add f (box 2 3) in
+  Alcotest.(check int) "subsumed zone dropped" 1 (Federation.size f);
+  let f = Federation.add f (box 0 10) in
+  Alcotest.(check int) "wider zone replaces" 1 (Federation.size f);
+  Alcotest.(check bool) "member" true (Federation.mem f (v 7 7));
+  Alcotest.(check bool) "non-member" false (Federation.mem f (v 11 11))
+
+let test_federation_subsumes () =
+  let f = Federation.add (Federation.empty 2) (box 0 5) in
+  Alcotest.(check bool) "inner box subsumed" true
+    (Federation.subsumes f (box 1 4));
+  Alcotest.(check bool) "outer box not" false
+    (Federation.subsumes f (box 1 9))
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_up_membership;
+        prop_constrain_membership;
+        prop_reset_membership;
+        prop_intersect_membership;
+        prop_subset_sound;
+        prop_extrapolate_widens;
+        prop_sup_bounds_members;
+        prop_canonical_triangle;
+        prop_equal_hash;
+      ]
+  in
+  Alcotest.run "dbm"
+    [
+      ( "bound",
+        [
+          Alcotest.test_case "order" `Quick test_bound_order;
+          Alcotest.test_case "add" `Quick test_bound_add;
+          Alcotest.test_case "negate" `Quick test_bound_negate;
+          Alcotest.test_case "sat" `Quick test_bound_sat;
+        ] );
+      ( "zone",
+        [
+          Alcotest.test_case "zero" `Quick test_zero_zone;
+          Alcotest.test_case "universal" `Quick test_universal_zone;
+          Alcotest.test_case "up" `Quick test_up;
+          Alcotest.test_case "constrain to empty" `Quick test_constrain_empty;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "reset to value" `Quick test_reset_to_value;
+          Alcotest.test_case "free" `Quick test_free;
+          Alcotest.test_case "intersect" `Quick test_intersect;
+          Alcotest.test_case "sup/inf" `Quick test_sup_inf;
+          Alcotest.test_case "extrapolate" `Quick test_extrapolate;
+          Alcotest.test_case "extrapolate idempotent" `Quick
+            test_extrapolate_idempotent;
+        ] );
+      ( "federation",
+        [
+          Alcotest.test_case "add with subsumption" `Quick test_federation_add;
+          Alcotest.test_case "subsumes" `Quick test_federation_subsumes;
+        ] );
+      ("properties", qsuite);
+    ]

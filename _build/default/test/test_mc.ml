@@ -1,0 +1,331 @@
+(* Tests for the model checker: reachability verdicts, search orders,
+   traces and the WCRT drivers, all on models with known answers. *)
+
+open Ita_ta
+open Ita_mc
+module Bound = Ita_dbm.Bound
+
+let guard_y_ge y c = Guard.clock_ge y c
+
+(* ------------------------------------------------------------------ *)
+(* Reachability on the two-phase model: at L2, y in [5, 6]             *)
+(* ------------------------------------------------------------------ *)
+
+let reach_two_phase order c =
+  let net, _x, y = Models.two_phase () in
+  let q = Query.with_guard (Query.at net ~comp:"P" ~loc:"L2") (guard_y_ge y c) in
+  Reach.reach ~order net q
+
+let test_reachable order () =
+  match reach_two_phase order 6 with
+  | Reach.Reachable { witness; _ } ->
+      Alcotest.(check int) "witness has 3 states" 3 (List.length witness)
+  | _ -> Alcotest.fail "y >= 6 should be reachable at L2"
+
+let test_unreachable order () =
+  match reach_two_phase order 7 with
+  | Reach.Unreachable _ -> ()
+  | _ -> Alcotest.fail "y >= 7 should be unreachable at L2"
+
+let test_goal_zone () =
+  let net, _x, y = Models.two_phase () in
+  let q = Query.at net ~comp:"P" ~loc:"L2" in
+  let q = Query.with_guard q (guard_y_ge y 5) in
+  match Reach.reach net q with
+  | Reach.Reachable { goal_zone; _ } ->
+      Alcotest.(check bool) "goal zone bounded by 6" true
+        (Bound.compare (Ita_dbm.Dbm.sup goal_zone y) (Bound.le 6) <= 0)
+  | _ -> Alcotest.fail "should be reachable"
+
+let test_budget () =
+  let net, _x, y = Models.two_phase () in
+  let q = Query.with_guard (Query.at net ~comp:"P" ~loc:"L2") (guard_y_ge y 7) in
+  match Reach.reach ~budget:(Reach.states 1) net q with
+  | Reach.Budget_exhausted _ -> ()
+  | _ -> Alcotest.fail "budget of 1 state must be exhausted"
+
+(* ------------------------------------------------------------------ *)
+(* WCRT drivers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sup_two_phase () =
+  let net, _x, y = Models.two_phase () in
+  match Wcrt.sup net ~at:(Query.at net ~comp:"P" ~loc:"L2") ~clock:y with
+  | Wcrt.Sup { value; kind; _ } ->
+      Alcotest.(check int) "sup y = 6" 6 value;
+      Alcotest.(check bool) "attained" true (kind = Wcrt.Attained)
+  | _ -> Alcotest.fail "sup should be found"
+
+let test_sup_unreachable_goal () =
+  let net, _z = Models.handshake () in
+  (* S.P1 is reachable, but let's query a location that is not: R.Q1
+     with S.P1 never coexist *)
+  let q =
+    Query.conj (Query.at net ~comp:"S" ~loc:"P1") (Query.at net ~comp:"R" ~loc:"Q1")
+  in
+  let z = Network.clock_index net "z" in
+  match Wcrt.sup net ~at:q ~clock:z with
+  | Wcrt.Goal_unreachable _ -> ()
+  | _ -> Alcotest.fail "P1 && Q1 should be unreachable"
+
+let test_sup_needs_ceiling_growth () =
+  (* with a tiny initial ceiling the driver must retry and still land
+     on the exact answer *)
+  let net, _x, y = Models.two_phase () in
+  match
+    Wcrt.sup ~initial_ceiling:2 net
+      ~at:(Query.at net ~comp:"P" ~loc:"L2")
+      ~clock:y
+  with
+  | Wcrt.Sup { value; _ } -> Alcotest.(check int) "sup y = 6" 6 value
+  | _ -> Alcotest.fail "sup should be found"
+
+let test_binary_search () =
+  let net, _x, y = Models.two_phase () in
+  let r =
+    Wcrt.binary_search ~hi:8 net
+      ~at:(Query.at net ~comp:"P" ~loc:"L2")
+      ~clock:y
+  in
+  Alcotest.(check (option int)) "lower = 6" (Some 6) r.Wcrt.lower;
+  Alcotest.(check (option int)) "upper = 7" (Some 7) r.Wcrt.upper
+
+let test_binary_search_agrees_with_sup =
+  QCheck2.Test.make ~count:20 ~name:"binary search = sup on random deadlines"
+    QCheck2.Gen.(int_range 1 6)
+    (fun ub ->
+      (* vary the upper guard bound of the first edge: sup becomes
+         ub + 4 *)
+      let b = Network.Builder.create () in
+      let x = Network.Builder.clock b "x" in
+      let y = Network.Builder.clock b "y" in
+      let p =
+        Automaton.make ~name:"P"
+          ~locations:
+            [
+              Models.loc "L0";
+              Models.loc "L1" ~invariant:(Guard.clock_le x 4);
+              Models.loc "L2" ~kind:Automaton.Committed;
+            ]
+          ~edges:
+            [
+              Models.edge 0 1 ~guard:(Guard.clock_le x ub)
+                ~update:(Update.reset x);
+              Models.edge 1 2 ~guard:(Guard.clock_eq x 4);
+            ]
+          ~initial:0
+      in
+      Network.Builder.add_automaton b p;
+      let net = Network.Builder.build b in
+      let at = Query.at net ~comp:"P" ~loc:"L2" in
+      let sup_val =
+        match Wcrt.sup net ~at ~clock:y with
+        | Wcrt.Sup { value; _ } -> value
+        | _ -> -1
+      in
+      let bs = Wcrt.binary_search ~hi:4 net ~at ~clock:y in
+      sup_val = ub + 4 && bs.Wcrt.lower = Some sup_val)
+
+let test_probe_lower () =
+  let net, _x, y = Models.two_phase () in
+  let r =
+    Wcrt.probe_lower ~order:Reach.Dfs net
+      ~at:(Query.at net ~comp:"P" ~loc:"L2")
+      ~clock:y ~budget:Reach.no_budget ~start:1 ~step:1
+  in
+  Alcotest.(check (option int)) "probe climbs to 6" (Some 6) r.Wcrt.lower
+
+(* ------------------------------------------------------------------ *)
+(* Search orders agree on verdicts                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_orders_agree () =
+  let orders = [ Reach.Bfs; Reach.Dfs; Reach.Random_dfs 42; Reach.Random_dfs 7 ] in
+  List.iter
+    (fun order ->
+      (match reach_two_phase order 6 with
+      | Reach.Reachable _ -> ()
+      | _ -> Alcotest.fail "reachable verdict must not depend on order");
+      match reach_two_phase order 7 with
+      | Reach.Unreachable _ -> ()
+      | _ -> Alcotest.fail "unreachable verdict must not depend on order")
+    orders
+
+(* ------------------------------------------------------------------ *)
+(* Urgency and committed end-to-end                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_urgent_reach () =
+  let net, z = Models.urgent_gate () in
+  (* while U has not yet taken its urgent edge, time may not pass
+     beyond the moment the flag was raised (z == 5) *)
+  let pending =
+    Query.conj (Query.at net ~comp:"U" ~loc:"L0") (Query.at net ~comp:"T" ~loc:"M1")
+  in
+  (match Reach.reach net (Query.with_guard pending (Guard.clock_ge z 5)) with
+  | Reach.Reachable _ -> ()
+  | _ -> Alcotest.fail "flag raised at z == 5 must be reachable");
+  match Reach.reach net (Query.with_guard pending (Guard.clock_gt z 5)) with
+  | Reach.Unreachable _ -> ()
+  | _ -> Alcotest.fail "urgency must pin z to exactly 5"
+
+let test_committed_reach () =
+  let net, w = Models.committed_gate () in
+  let at_k1 = Query.at net ~comp:"A" ~loc:"K1" in
+  (* K1 is entered at w == 3 and is committed, so time never passes
+     there *)
+  (match Reach.reach net (Query.with_guard at_k1 (Guard.clock_eq w 3)) with
+  | Reach.Reachable _ -> ()
+  | _ -> Alcotest.fail "A.K1 at w == 3 must be reachable");
+  (match Reach.reach net (Query.with_guard at_k1 (Guard.clock_gt w 3)) with
+  | Reach.Unreachable _ -> ()
+  | _ -> Alcotest.fail "committed location must stop time");
+  (* B may move before A commits, so B.N1 && A.K1 is reachable in that
+     order — the blocking of B *while* A is committed is covered by the
+     successor-level test in test_ta *)
+  let q =
+    Query.conj (Query.at net ~comp:"B" ~loc:"N1") (Query.at net ~comp:"A" ~loc:"K1")
+  in
+  match Reach.reach net q with
+  | Reach.Reachable _ -> ()
+  | _ -> Alcotest.fail "B-then-A interleaving must exist"
+
+(* ------------------------------------------------------------------ *)
+(* Witness sanity: consecutive states connected, first is initial      *)
+(* ------------------------------------------------------------------ *)
+
+let test_witness_structure () =
+  let net, _x, y = Models.two_phase () in
+  let q = Query.with_guard (Query.at net ~comp:"P" ~loc:"L2") (guard_y_ge y 6) in
+  match Reach.reach net q with
+  | Reach.Reachable { witness; _ } -> (
+      match witness with
+      | { via = None; state = s0 } :: rest ->
+          Alcotest.(check int) "starts at L0" 0 s0.Semantics.locs.(0);
+          List.iter
+            (fun { Reach.via; _ } ->
+              if via = None then Alcotest.fail "only the root lacks a label")
+            rest
+      | _ -> Alcotest.fail "witness must start with the initial state")
+  | _ -> Alcotest.fail "should be reachable"
+
+(* ------------------------------------------------------------------ *)
+(* Concrete-vs-symbolic cross-validation: every state visited by a
+   random concrete execution must be covered by some explored zone
+   with the same discrete part.  This exercises the entire abstraction
+   stack: delay closure, urgency, committedness, broadcast semantics,
+   extrapolation and active-clock reduction.                           *)
+(* ------------------------------------------------------------------ *)
+
+let symbolic_cover net =
+  let store = Hashtbl.create 256 in
+  (match
+     Reach.explore net ~on_store:(fun (cfg : Semantics.config) ->
+         let key = (cfg.Semantics.state.Semantics.locs, cfg.Semantics.state.Semantics.env) in
+         let zones = try Hashtbl.find store key with Not_found -> [] in
+         Hashtbl.replace store key (cfg.Semantics.zone :: zones))
+   with
+  | `Complete _ -> ()
+  | `Budget_exhausted _ -> Alcotest.fail "exploration should complete");
+  fun (c : Concrete.t) ->
+    (* the engine pins dead clocks at 0; normalize the concrete
+       valuation the same way before testing membership *)
+    let n = Array.length net.Network.clock_names in
+    let n_comp = Array.length net.Network.automata in
+    let clocks = Array.copy c.Concrete.clocks in
+    for x = 1 to n - 1 do
+      let live =
+        net.Network.pinned.(x)
+        || Array.exists
+             (fun i -> net.Network.active.(i).(c.Concrete.locs.(i)).(x))
+             (Array.init n_comp (fun i -> i))
+      in
+      if not live then clocks.(x) <- 0
+    done;
+    match Hashtbl.find_opt store (c.Concrete.locs, c.Concrete.env) with
+    | None -> false
+    | Some zones -> List.exists (fun z -> Ita_dbm.Dbm.satisfies z clocks) zones
+
+let walk_covered net seed =
+  let covered = symbolic_cover net in
+  let walk = Concrete.random_walk net ~seed ~steps:40 ~max_step_delay:7 in
+  List.for_all (fun (_, c) -> covered c) walk
+
+let prop_concrete_covered name net =
+  QCheck2.Test.make ~count:25 ~name:("concrete runs covered: " ^ name)
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed -> walk_covered net seed)
+
+let generated_mini () =
+  (* a small generated architecture network, so the whole Gen pipeline
+     is cross-validated too *)
+  let open Ita_core in
+  let cpu =
+    Resource.processor "CPU" ~mips:1.0 ~policy:Resource.Priority_preemptive
+  in
+  let hi =
+    Scenario.make ~name:"Hi"
+      ~trigger:(Eventmodel.Periodic { period = 10; offset = 0 })
+      ~band:Scenario.High
+      ~steps:[ Scenario.Compute { op = "h"; resource = "CPU"; instructions = 2.0 } ]
+      ~requirements:[]
+  in
+  let lo =
+    Scenario.make ~name:"Lo"
+      ~trigger:(Eventmodel.Sporadic { min_separation = 25 })
+      ~band:Scenario.Low
+      ~steps:[ Scenario.Compute { op = "l"; resource = "CPU"; instructions = 8.0 } ]
+      ~requirements:[]
+  in
+  let sys =
+    Sysmodel.make ~name:"mini" ~resources:[ cpu ] ~scenarios:[ hi; lo ]
+      ~queue_bound:3 ()
+  in
+  (Gen.generate sys).Gen.net
+
+let coverage_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_concrete_covered "two-phase" (let net, _, _ = Models.two_phase () in net);
+      prop_concrete_covered "urgent-gate" (fst (Models.urgent_gate ()));
+      prop_concrete_covered "handshake" (fst (Models.handshake ()));
+      prop_concrete_covered "broadcast" (Models.broadcast_pair ());
+      prop_concrete_covered "generated-mini" (generated_mini ());
+    ]
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "reach",
+        [
+          Alcotest.test_case "reachable (bfs)" `Quick (test_reachable Reach.Bfs);
+          Alcotest.test_case "reachable (dfs)" `Quick (test_reachable Reach.Dfs);
+          Alcotest.test_case "reachable (rdfs)" `Quick
+            (test_reachable (Reach.Random_dfs 1));
+          Alcotest.test_case "unreachable (bfs)" `Quick
+            (test_unreachable Reach.Bfs);
+          Alcotest.test_case "unreachable (dfs)" `Quick
+            (test_unreachable Reach.Dfs);
+          Alcotest.test_case "goal zone" `Quick test_goal_zone;
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "orders agree" `Quick test_orders_agree;
+          Alcotest.test_case "witness structure" `Quick test_witness_structure;
+        ] );
+      ( "wcrt",
+        [
+          Alcotest.test_case "sup" `Quick test_sup_two_phase;
+          Alcotest.test_case "sup unreachable goal" `Quick
+            test_sup_unreachable_goal;
+          Alcotest.test_case "sup ceiling growth" `Quick
+            test_sup_needs_ceiling_growth;
+          Alcotest.test_case "binary search" `Quick test_binary_search;
+          QCheck_alcotest.to_alcotest test_binary_search_agrees_with_sup;
+          Alcotest.test_case "probe lower" `Quick test_probe_lower;
+        ] );
+      ( "semantics-e2e",
+        [
+          Alcotest.test_case "urgent" `Quick test_urgent_reach;
+          Alcotest.test_case "committed" `Quick test_committed_reach;
+        ] );
+      ("concrete-coverage", coverage_suite);
+    ]

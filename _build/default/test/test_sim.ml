@@ -1,0 +1,185 @@
+(* Tests for the discrete-event simulator: the calendar queue, the
+   dispatcher (including preemption), and statistical sanity. *)
+
+open Ita_core
+module Calendar = Ita_sim.Calendar
+module Engine = Ita_sim.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Calendar                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_calendar_order () =
+  let c = Calendar.create () in
+  Calendar.schedule c ~time:5 "c";
+  Calendar.schedule c ~time:1 "a";
+  Calendar.schedule c ~time:3 "b";
+  Alcotest.(check (option int)) "peek" (Some 1) (Calendar.peek_time c);
+  let pops = List.init 3 (fun _ -> Option.get (Calendar.pop c)) in
+  Alcotest.(check (list (pair int string)))
+    "sorted" [ (1, "a"); (3, "b"); (5, "c") ] pops;
+  Alcotest.(check bool) "empty" true (Calendar.is_empty c)
+
+let test_calendar_fifo_ties () =
+  let c = Calendar.create () in
+  Calendar.schedule c ~time:2 "first";
+  Calendar.schedule c ~time:2 "second";
+  Calendar.schedule c ~time:2 "third";
+  let pops = List.init 3 (fun _ -> snd (Option.get (Calendar.pop c))) in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] pops
+
+let test_calendar_causality () =
+  let c = Calendar.create () in
+  Calendar.schedule c ~time:10 ();
+  ignore (Calendar.pop c);
+  Alcotest.check_raises "no scheduling into the past"
+    (Invalid_argument "Calendar.schedule: time 5 < now 10") (fun () ->
+      Calendar.schedule c ~time:5 ())
+
+let prop_calendar_sorted =
+  QCheck2.Test.make ~count:200 ~name:"pops are time-sorted"
+    QCheck2.Gen.(list_size (int_range 0 50) (int_range 0 1000))
+    (fun times ->
+      let c = Calendar.create () in
+      List.iter (fun t -> Calendar.schedule c ~time:t t) times;
+      let rec drain last =
+        match Calendar.pop c with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain 0)
+
+(* ------------------------------------------------------------------ *)
+(* Engine on known systems                                             *)
+(* ------------------------------------------------------------------ *)
+
+let solo_system trigger =
+  let cpu =
+    Resource.processor "CPU" ~mips:10.0 ~policy:Resource.Priority_preemptive
+  in
+  let s =
+    Scenario.make ~name:"Solo" ~trigger ~band:Scenario.High
+      ~steps:[ Scenario.Compute { op = "f"; resource = "CPU"; instructions = 2e4 } ]
+      ~requirements:
+        [ { Scenario.req_name = "r"; from_step = None; to_step = 0; budget_us = None } ]
+  in
+  Sysmodel.make ~name:"solo" ~resources:[ cpu ] ~scenarios:[ s ] ()
+
+let test_solo_periodic () =
+  (* one 2 ms job every 10 ms: every response is exactly 2 ms *)
+  let sys = solo_system (Eventmodel.Periodic { period = 10_000; offset = 0 }) in
+  let stats = Engine.run ~seed:7 ~horizon_us:100_000 sys in
+  (* arrivals at 0, 10, ..., 100 ms; the one at 100 ms completes past
+     the horizon, so 10 samples *)
+  Alcotest.(check int) "10 completed samples in [0, 100 ms]" 10
+    (List.length stats.Engine.samples);
+  List.iter
+    (fun (s : Engine.sample) ->
+      Alcotest.(check int) "uncontended response" 2000 s.Engine.response_us)
+    stats.Engine.samples;
+  (* busy accounting: 10 completed jobs of 2 ms *)
+  Alcotest.(check int) "cpu busy time" 20_000
+    (List.assoc "CPU" stats.Engine.busy_us)
+
+let test_determinism () =
+  let sys = solo_system (Eventmodel.Periodic_jitter { period = 10_000; jitter = 5_000 }) in
+  let r1 = Engine.run ~seed:42 ~horizon_us:200_000 sys in
+  let r2 = Engine.run ~seed:42 ~horizon_us:200_000 sys in
+  Alcotest.(check int) "same seed, same sample count"
+    (List.length r1.Engine.samples)
+    (List.length r2.Engine.samples);
+  List.iter2
+    (fun (a : Engine.sample) (b : Engine.sample) ->
+      Alcotest.(check int) "same responses" a.Engine.response_us
+        b.Engine.response_us)
+    r1.Engine.samples r2.Engine.samples
+
+let showdown policy =
+  let cpu = Resource.processor "CPU" ~mips:10.0 ~policy in
+  let hi =
+    Scenario.make ~name:"Hi"
+      ~trigger:(Eventmodel.Periodic { period = 10_000; offset = 0 })
+      ~band:Scenario.High
+      ~steps:[ Scenario.Compute { op = "h"; resource = "CPU"; instructions = 2e4 } ]
+      ~requirements:
+        [ { Scenario.req_name = "r"; from_step = None; to_step = 0; budget_us = None } ]
+  in
+  let lo =
+    Scenario.make ~name:"Lo"
+      ~trigger:(Eventmodel.Periodic { period = 50_000; offset = 1_000 })
+      ~band:Scenario.Low
+      ~steps:[ Scenario.Compute { op = "l"; resource = "CPU"; instructions = 3e5 } ]
+      ~requirements:
+        [ { Scenario.req_name = "r"; from_step = None; to_step = 0; budget_us = None } ]
+  in
+  Sysmodel.make ~name:"showdown" ~resources:[ cpu ] ~scenarios:[ hi; lo ]
+    ~queue_bound:8 ()
+
+let max_response stats scenario =
+  List.fold_left
+    (fun acc (s : Engine.sample) ->
+      if s.Engine.scenario = scenario then max acc s.Engine.response_us else acc)
+    0 stats.Engine.samples
+
+let test_preemption () =
+  (* the low job starts at 1 ms and runs 30 ms; preemptively, the high
+     job (every 10 ms) is never delayed; non-preemptively it waits *)
+  let p = Engine.run ~seed:1 ~horizon_us:200_000 (showdown Resource.Priority_preemptive) in
+  Alcotest.(check int) "preemptive: high never blocked" 2000
+    (max_response p "Hi");
+  (* work conservation: the low job still completes (response grows by
+     the preemptions, three 2 ms highs per 10 ms window) *)
+  Alcotest.(check bool) "low job still completes" true
+    (max_response p "Lo" >= 30_000);
+  let np =
+    Engine.run ~seed:1 ~horizon_us:200_000 (showdown Resource.Priority_nonpreemptive)
+  in
+  Alcotest.(check bool) "non-preemptive: high blocked by low" true
+    (max_response np "Hi" > 20_000)
+
+let test_from_step_window () =
+  (* requirement measured from an intermediate step *)
+  let cpu = Resource.processor "CPU" ~mips:10.0 ~policy:Resource.Priority_preemptive in
+  let wire = Resource.link "WIRE" ~kbps:80.0 ~policy:Resource.Priority_nonpreemptive in
+  let s =
+    Scenario.make ~name:"Chain"
+      ~trigger:(Eventmodel.Periodic { period = 50_000; offset = 0 })
+      ~band:Scenario.High
+      ~steps:
+        [
+          Scenario.Compute { op = "a"; resource = "CPU"; instructions = 2e4 };
+          Scenario.Transfer { msg = "m"; resource = "WIRE"; bytes = 10 };
+          Scenario.Compute { op = "b"; resource = "CPU"; instructions = 1e4 };
+        ]
+      ~requirements:
+        [
+          { Scenario.req_name = "tail"; from_step = Some 0; to_step = 2; budget_us = None };
+        ]
+  in
+  let sys = Sysmodel.make ~name:"chain" ~resources:[ cpu; wire ] ~scenarios:[ s ] () in
+  let stats = Engine.run ~seed:3 ~horizon_us:200_000 sys in
+  (* tail = transfer (1 ms) + compute (1 ms) *)
+  List.iter
+    (fun (smp : Engine.sample) ->
+      Alcotest.(check int) "tail window" 2000 smp.Engine.response_us)
+    stats.Engine.samples
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "calendar",
+        [
+          Alcotest.test_case "order" `Quick test_calendar_order;
+          Alcotest.test_case "fifo ties" `Quick test_calendar_fifo_ties;
+          Alcotest.test_case "causality" `Quick test_calendar_causality;
+          QCheck_alcotest.to_alcotest prop_calendar_sorted;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "solo periodic" `Quick test_solo_periodic;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "preemption" `Quick test_preemption;
+          Alcotest.test_case "from-step window" `Quick test_from_step_window;
+        ] );
+    ]
