@@ -105,19 +105,6 @@ let print_table1 () =
       Format.printf "@.")
     R.table1_rows
 
-let sim_max sys ~scenario ~requirement ~runs ~horizon_us =
-  let worst = ref 0 in
-  for seed = 1 to runs do
-    let stats = Ita_sim.Engine.run ~seed ~horizon_us sys in
-    List.iter
-      (fun (s : Ita_sim.Engine.sample) ->
-        if s.Ita_sim.Engine.scenario = scenario
-           && s.Ita_sim.Engine.requirement = requirement
-        then worst := max !worst s.Ita_sim.Engine.response_us)
-      stats.Ita_sim.Engine.samples
-  done;
-  !worst
-
 let print_table2 () =
   Format.printf
     "@.== Table 2: comparison with other techniques (ms, pno) ==========@.";
@@ -131,8 +118,8 @@ let print_table2 () =
       let sys = R.system row.R.combo R.Pno in
       let sim =
         Format.asprintf "%a" Units.pp_ms
-          (sim_max sys ~scenario:row.R.scenario ~requirement:row.R.requirement
-             ~runs:5 ~horizon_us:30_000_000)
+          (Ita_sim.Engine.max_response ~runs:5 ~horizon_us:30_000_000 sys
+             ~scenario:row.R.scenario ~requirement:row.R.requirement)
       in
       let symta =
         try
@@ -153,6 +140,64 @@ let print_table2 () =
       Format.printf "%-34s %10s %10s %10s %10s %10s@." row.R.label (mc R.Po)
         (mc R.Pno) sim symta mpa)
     R.table1_rows
+
+(* ------------------------------------------------------------------ *)
+(* Design-space sweep: jobs/sec, parallel speedup, cache behaviour     *)
+(* ------------------------------------------------------------------ *)
+
+module Dse = Ita_dse
+
+let print_dse_sweep () =
+  Format.printf
+    "@.== Design-space sweep (lib/dse) =================================@.";
+  let space = Dse.Spaces.radionav () in
+  let techniques = Dse.Job.[ Mc; Sim; Symta; Rtc ] in
+  (* a short sim budget keeps the sweep itself benchmark-sized *)
+  let budget =
+    { Dse.Job.default_budget with sim_runs = 2; sim_horizon_us = 5_000_000 }
+  in
+  let sweep ?jobs ?cache () =
+    Dse.Explore.run ?jobs ?cache ~budget ~timeout_s:120.0 space ~techniques
+      ~scenario:"HandleTMC" ~requirement:"TMC"
+  in
+  let serial = sweep ~jobs:1 () in
+  let cores = Dse.Pool.default_jobs () in
+  let par = sweep ~jobs:cores () in
+  let jps (r : Dse.Explore.report) =
+    float_of_int r.Dse.Explore.executed /. r.Dse.Explore.wall_s
+  in
+  let n = List.length (Dse.Space.candidates space) in
+  Format.printf "space %s: %d candidates x %d techniques = %d jobs@."
+    space.Dse.Space.space_name n (List.length techniques)
+    (n * List.length techniques);
+  Format.printf "%-20s %9s %10s@." "" "wall(s)" "jobs/s";
+  Format.printf "%-20s %9.2f %10.2f@." "jobs=1"
+    serial.Dse.Explore.wall_s (jps serial);
+  Format.printf "%-20s %9.2f %10.2f@."
+    (Printf.sprintf "jobs=%d (cores)" cores)
+    par.Dse.Explore.wall_s (jps par);
+  Format.printf "parallel speedup: %.2fx on %d core(s)@."
+    (serial.Dse.Explore.wall_s /. par.Dse.Explore.wall_s)
+    cores;
+  (* cache behaviour: one cold pass populates a throwaway dir, the
+     warm pass must answer entirely from it *)
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ita-dse-bench-%d" (Unix.getpid ()))
+  in
+  let cache = Dse.Cache.create ~dir in
+  let cold = sweep ~jobs:cores ~cache () in
+  let warm = sweep ~jobs:cores ~cache () in
+  Format.printf "cache: cold pass %d misses, warm pass %d hits in %.3fs@."
+    cold.Dse.Explore.cache_misses warm.Dse.Explore.cache_hits
+    warm.Dse.Explore.wall_s;
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat dir f))
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro/meso benchmarks                                      *)
@@ -259,4 +304,5 @@ let run_benchmarks () =
 let () =
   print_table1 ();
   print_table2 ();
+  print_dse_sweep ();
   run_benchmarks ()

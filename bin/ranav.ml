@@ -52,6 +52,15 @@ let order_conv =
   in
   Arg.conv (parse, print)
 
+(* the parser above cannot know the seed yet; thread it in here *)
+let seeded_order order seed =
+  match order with Reach.Random_dfs _ -> Reach.Random_dfs seed | o -> o
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~doc:"PRNG seed for the rdfs search order")
+
 let combo_arg =
   Arg.(value & opt combo_conv R.Cv_tmc & info [ "combo" ] ~doc:"cv or al")
 
@@ -71,7 +80,8 @@ let budget_arg =
 (* wcrt                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_wcrt combo column scenario requirement order budget probe_start_ms =
+let run_wcrt combo column scenario requirement order seed budget probe_start_ms =
+  let order = seeded_order order seed in
   let sys = R.system combo column in
   let method_ =
     match budget with
@@ -107,7 +117,7 @@ let wcrt_cmd =
   Cmd.v (Cmd.info "wcrt" ~doc:"model-check one requirement")
     Term.(
       const run_wcrt $ combo_arg $ column_arg $ scenario $ requirement
-      $ order_arg $ budget_arg $ probe_start)
+      $ order_arg $ seed_arg $ budget_arg $ probe_start)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -197,20 +207,6 @@ let table1_cmd =
 (* table2                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let sim_max sys ~scenario ~requirement ~runs ~horizon_us =
-  let best = ref 0 in
-  for seed = 1 to runs do
-    let stats = Ita_sim.Engine.run ~seed ~horizon_us sys in
-    List.iter
-      (fun (s : Ita_sim.Engine.sample) ->
-        if
-          s.Ita_sim.Engine.scenario = scenario
-          && s.Ita_sim.Engine.requirement = requirement
-        then best := max !best s.Ita_sim.Engine.response_us)
-      stats.Ita_sim.Engine.samples
-  done;
-  !best
-
 let run_table2 budget runs horizon_s =
   let horizon_us = int_of_float (horizon_s *. 1e6) in
   Format.printf
@@ -228,26 +224,21 @@ let run_table2 budget runs horizon_s =
       let sys_pno = R.system row.R.combo R.Pno in
       let sim =
         Format.asprintf "%a" Units.pp_ms
-          (sim_max sys_pno ~scenario:row.R.scenario
-             ~requirement:row.R.requirement ~runs ~horizon_us)
+          (Ita_sim.Engine.max_response ~runs ~horizon_us sys_pno
+             ~scenario:row.R.scenario ~requirement:row.R.requirement)
+      in
+      let analytic bound =
+        match
+          bound sys_pno ~scenario:row.R.scenario
+            ~requirement:row.R.requirement
+        with
+        | Ok v -> Format.asprintf "%a" Units.pp_ms v
+        | Error _ -> "diverged"
       in
       let symta =
-        try
-          let t = Ita_symta.Sysanalysis.analyze sys_pno in
-          Format.asprintf "%a" Units.pp_ms
-            (Ita_symta.Sysanalysis.wcrt t sys_pno ~scenario:row.R.scenario
-               ~requirement:row.R.requirement)
-        with Ita_symta.Sysanalysis.Diverged _ | Ita_symta.Busywindow.Unschedulable _ ->
-          "diverged"
+        analytic (fun sys -> Ita_symta.Sysanalysis.wcrt_bound sys)
       in
-      let mpa =
-        try
-          let t = Ita_rtc.Gpc.analyze sys_pno in
-          Format.asprintf "%a" Units.pp_ms
-            (Ita_rtc.Gpc.wcrt t sys_pno ~scenario:row.R.scenario
-               ~requirement:row.R.requirement)
-        with Ita_rtc.Gpc.Diverged _ -> "diverged"
-      in
+      let mpa = analytic (fun sys -> Ita_rtc.Gpc.wcrt_bound sys) in
       Format.printf "%-32s %10s %10s %10s %10s %10s@." row.R.label mc_po
         mc_pno sim symta mpa)
     R.table1_rows
@@ -373,23 +364,22 @@ let run_sweep combo column kbps_list budget =
       in
       let sim =
         Format.asprintf "%a" Units.pp_ms
-          (sim_max sys ~scenario:"HandleTMC" ~requirement:"TMC" ~runs:5
-             ~horizon_us:30_000_000)
+          (Ita_sim.Engine.max_response ~runs:5 ~horizon_us:30_000_000 sys
+             ~scenario:"HandleTMC" ~requirement:"TMC")
+      in
+      let bound_cell b =
+        match b with
+        | Ok v -> Format.asprintf "%a" Units.pp_ms v
+        | Error _ -> "diverged"
       in
       let symta =
-        try
-          let t = Ita_symta.Sysanalysis.analyze sys in
-          Format.asprintf "%a" Units.pp_ms
-            (Ita_symta.Sysanalysis.wcrt t sys ~scenario:"HandleTMC"
-               ~requirement:"TMC")
-        with _ -> "diverged"
+        bound_cell
+          (Ita_symta.Sysanalysis.wcrt_bound sys ~scenario:"HandleTMC"
+             ~requirement:"TMC")
       in
       let mpa =
-        try
-          let t = Ita_rtc.Gpc.analyze sys in
-          Format.asprintf "%a" Units.pp_ms
-            (Ita_rtc.Gpc.wcrt t sys ~scenario:"HandleTMC" ~requirement:"TMC")
-        with _ -> "diverged"
+        bound_cell
+          (Ita_rtc.Gpc.wcrt_bound sys ~scenario:"HandleTMC" ~requirement:"TMC")
       in
       Format.printf "%8.0f %12s %12s %12s %12s@." kbps mc sim symta mpa)
     kbps_list
@@ -407,6 +397,140 @@ let sweep_cmd =
          "bus-bandwidth design-space sweep with all four techniques (the \
           parameter sweep the paper notes UPPAAL could not do)")
     Term.(const run_sweep $ combo_arg $ column_arg $ kbps $ budget_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explore: design-space exploration over architecture candidates      *)
+(* ------------------------------------------------------------------ *)
+
+let technique_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Ita_dse.Job.technique_of_string s)
+  in
+  let print ppf t = Format.pp_print_string ppf (Ita_dse.Job.technique_name t) in
+  Arg.conv (parse, print)
+
+let run_explore combo column scenario requirement techniques mmi_mips rad_mips
+    nav_mips bus_kbps decode_on jobs timeout_s cache_dir no_cache mc_states
+    mc_seconds sim_runs sim_horizon_s inject_crash =
+  let open Ita_dse in
+  let space =
+    Spaces.radionav ~combo ~column ~mmi_mips ~rad_mips ~nav_mips ~bus_kbps
+      ~decode_on ()
+  in
+  let cache = if no_cache then None else Some (Cache.create ~dir:cache_dir) in
+  let budget =
+    {
+      Job.mc_states;
+      mc_seconds;
+      sim_runs;
+      sim_horizon_us = int_of_float (sim_horizon_s *. 1e6);
+    }
+  in
+  let report =
+    Explore.run ?jobs ?timeout_s ?cache ~budget ?inject_crash space ~techniques
+      ~scenario ~requirement
+  in
+  Format.printf "%a@." Explore.pp report
+
+let explore_cmd =
+  let scenario =
+    Arg.(
+      value & opt string "HandleTMC"
+      & info [ "scenario" ] ~doc:"measured scenario")
+  in
+  let requirement =
+    Arg.(
+      value & opt string "TMC" & info [ "requirement" ] ~doc:"measured requirement")
+  in
+  let techniques =
+    Arg.(
+      value
+      & opt (list technique_conv)
+          Ita_dse.Job.[ Mc; Sim; Symta; Rtc ]
+      & info [ "techniques" ] ~doc:"subset of mc,sim,symta,rtc")
+  in
+  let levels name doc default =
+    Arg.(value & opt (list float) default & info [ name ] ~doc)
+  in
+  let mmi = levels "mmi-mips" "MMI speed levels (empty: keep 22)" [] in
+  let rad = levels "rad-mips" "RAD speed levels" [ 11.0; 22.0 ] in
+  let nav = levels "nav-mips" "NAV speed levels (empty: keep 113)" [] in
+  let bus = levels "bus-kbps" "bus baud levels" [ 48.0; 72.0; 96.0; 120.0 ] in
+  let decode_on =
+    Arg.(
+      value & opt (list string) []
+      & info [ "decode-on" ]
+          ~doc:"also try mapping DecodeTMC onto these processors (e.g. NAV,RAD)")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~doc:"worker processes (default: core count)")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) (Some 600.0)
+      & info [ "timeout-s" ] ~doc:"per-job wall-clock limit in seconds")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt string "_dse_cache"
+      & info [ "cache-dir" ] ~doc:"on-disk result cache directory")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"disable the result cache")
+  in
+  let mc_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mc-states" ] ~doc:"state budget per model-checking job")
+  in
+  let mc_seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "mc-seconds" ] ~doc:"time budget per model-checking job")
+  in
+  let sim_runs =
+    Arg.(value & opt int 5 & info [ "sim-runs" ] ~doc:"simulation seeds per job")
+  in
+  let sim_horizon =
+    Arg.(
+      value & opt float 30.0
+      & info [ "sim-horizon-s" ] ~doc:"simulated seconds per simulation seed")
+  in
+  let inject_crash =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-crash" ]
+          ~doc:"(fault injection) kill the worker of flat job $(docv)"
+          ~docv:"N")
+  in
+  (* the shared cv/pno defaults would make the exhaustive mc jobs hit
+     the paper's state-explosion cells; default to the tractable
+     AddressLookup/periodic-offset configuration instead *)
+  let combo =
+    Arg.(value & opt combo_conv R.Al_tmc & info [ "combo" ] ~doc:"cv or al")
+  in
+  let column =
+    Arg.(
+      value & opt column_conv R.Po & info [ "column" ] ~doc:"po/pno/sp/pj/bur")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "design-space exploration: sweep architecture candidates through \
+          the analysis techniques in parallel, with on-disk memoization, \
+          and report the feasible set and Pareto frontier")
+    Term.(
+      const run_explore $ combo $ column $ scenario $ requirement
+      $ techniques $ mmi $ rad $ nav $ bus $ decode_on $ jobs $ timeout
+      $ cache_dir $ no_cache $ mc_states $ mc_seconds $ sim_runs $ sim_horizon
+      $ inject_crash)
 
 (* ------------------------------------------------------------------ *)
 (* ablation: scheduler policies                                        *)
@@ -465,5 +589,6 @@ let () =
             simulate_cmd;
             show_model_cmd;
             sweep_cmd;
+            explore_cmd;
             ablation_cmd;
           ]))

@@ -57,10 +57,37 @@ val trigger : column -> period:int -> Eventmodel.t
     for the radio station, while the other actors fall back to
     sporadic in those columns — exactly the paper's setup. *)
 
+val columns : column list
+(** Table 1 order: po, pno, sp, pj, bur. *)
+
 (** The two analyzed application combinations. *)
 type combo = Cv_tmc | Al_tmc
 
+val combos : combo list
+val combo_name : combo -> string
+(** Short tags: "cv" and "al". *)
+
 val system : ?queue_bound:int -> combo -> column -> Sysmodel.t
+
+val system_with :
+  ?queue_bound:int ->
+  ?mmi_mips:float ->
+  ?rad_mips:float ->
+  ?nav_mips:float ->
+  ?bus_kbps:float ->
+  ?cpu_policy:Resource.policy ->
+  ?bus_policy:Resource.policy ->
+  ?decode_on:string ->
+  combo ->
+  column ->
+  Sysmodel.t
+(** The configuration space behind {!system}: the same deployment
+    with any of the paper's architecture alternatives applied —
+    different CPU speeds, bus baud rate, scheduling policies, and
+    [decode_on] moving the DecodeTMC computation onto another
+    processor ("moving functionality between processors", the
+    paper's Section 4 design question).  Defaults reproduce
+    {!system} exactly. *)
 
 (** One row of Table 1 / Table 2: a requirement measured in a
     combination. *)

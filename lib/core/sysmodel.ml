@@ -61,6 +61,48 @@ let with_trigger m scen ev =
         m.scenarios;
   }
 
+let revalidated m =
+  match validate m with
+  | Ok () -> m
+  | Error msg -> invalid_arg ("Sysmodel transform: " ^ msg)
+
+let with_resource m name f =
+  let found = ref false in
+  let resources =
+    List.map
+      (fun (r : Resource.t) ->
+        if r.Resource.name = name then (
+          found := true;
+          f r)
+        else r)
+      m.resources
+  in
+  if not !found then raise Not_found;
+  revalidated { m with resources }
+
+let remap_step m ~scenario:scen ~step ~resource =
+  let s = scenario m scen in
+  if step < 0 || step >= List.length s.Scenario.steps then
+    invalid_arg
+      (Printf.sprintf "Sysmodel.remap_step: %s has no step %d" scen step);
+  let steps =
+    List.mapi
+      (fun i (st : Scenario.step) ->
+        if i <> step then st
+        else
+          match st with
+          | Scenario.Compute c -> Scenario.Compute { c with resource }
+          | Scenario.Transfer t -> Scenario.Transfer { t with resource })
+      s.Scenario.steps
+  in
+  let scenarios =
+    List.map
+      (fun (s' : Scenario.t) ->
+        if s'.Scenario.name = scen then { s' with Scenario.steps } else s')
+      m.scenarios
+  in
+  revalidated { m with scenarios }
+
 let pp ppf m =
   Format.fprintf ppf "@[<v2>system %s:@," m.name;
   List.iter (fun r -> Format.fprintf ppf "%a@," Resource.pp r) m.resources;

@@ -49,4 +49,22 @@ val with_trigger : t -> string -> Eventmodel.t -> t
 (** [with_trigger m scen ev] replaces one scenario's event model —
     the Table 1 column sweep. *)
 
+val with_resource : t -> string -> (Resource.t -> Resource.t) -> t
+(** [with_resource m name f] replaces resource [name] by [f r] and
+    revalidates — the design-space "change a CPU speed / bus baud
+    rate / scheduling policy" transform.
+    @raise Not_found on an unknown resource name.
+    @raise Invalid_argument when the transformed model fails
+    {!validate} (e.g. [f] renamed the resource away from its steps). *)
+
+val remap_step : t -> scenario:string -> step:int -> resource:string -> t
+(** [remap_step m ~scenario ~step ~resource] moves one scenario step
+    onto another resource — the design-space "move functionality
+    between processors" transform.  The step keeps its demand
+    (instructions or bytes); only the deployment changes.
+    @raise Not_found on an unknown scenario name.
+    @raise Invalid_argument on an out-of-range step index or when the
+    target resource has the wrong kind (compute steps need a
+    processor, transfers need a link). *)
+
 val pp : Format.formatter -> t -> unit

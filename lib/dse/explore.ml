@@ -1,0 +1,274 @@
+open Ita_core
+
+type status = Done of Job.result | Crashed of string | Timed_out of float
+type cell = { technique : Job.technique; status : status; cached : bool }
+type row = { candidate : Space.candidate; cells : cell list }
+
+type report = {
+  space_name : string;
+  scenario : string;
+  requirement : string;
+  deadline_us : int option;
+  techniques : Job.technique list;
+  rows : row list;
+  cache_hits : int;
+  cache_misses : int;
+  executed : int;
+  failed : int;
+  workers : int;
+  wall_s : float;
+}
+
+let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
+    space ~techniques ~scenario ~requirement =
+  if techniques = [] then invalid_arg "Explore.run: no techniques";
+  let workers =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let deadline_us =
+    (Scenario.requirement
+       (Sysmodel.scenario space.Space.base scenario)
+       requirement)
+      .Scenario.budget_us
+  in
+  let t0 = Unix.gettimeofday () in
+  let cands = Space.candidates space in
+  (* flat job list, candidate-major; probe the cache up front *)
+  let entries =
+    List.concat_map
+      (fun (c : Space.candidate) ->
+        List.map
+          (fun tech ->
+            let spec =
+              {
+                Job.sys = c.Space.sys;
+                technique = tech;
+                scenario;
+                requirement;
+                budget;
+              }
+            in
+            let hit =
+              match cache with
+              | None -> None
+              | Some ca -> Cache.find ca (Cache.job_key spec)
+            in
+            (c, tech, spec, hit))
+          techniques)
+      cands
+  in
+  let entries =
+    List.mapi (fun flat (c, tech, spec, hit) -> (flat, c, tech, spec, hit))
+      entries
+  in
+  let to_run =
+    List.filter_map
+      (fun (flat, _, _, spec, hit) ->
+        match hit with Some _ -> None | None -> Some (flat, spec))
+      entries
+  in
+  let worker (flat, spec) =
+    if inject_crash = Some flat then
+      (* fault injection: die without a word, like a segfaulting or
+         OOM-killed worker would *)
+      Unix._exit 66;
+    Job.run spec
+  in
+  let to_run_arr = Array.of_list to_run in
+  let on_result i outcome =
+    (* persist the moment a job settles: a sweep killed halfway keeps
+       everything already computed *)
+    match (outcome, cache) with
+    | Pool.Done r, Some ca ->
+        let _, spec = to_run_arr.(i) in
+        Cache.store ca (Cache.job_key spec) r
+    | _ -> ()
+  in
+  let outcomes = Pool.map ~jobs:workers ?timeout_s ~on_result worker to_run_arr in
+  let by_flat = Hashtbl.create 64 in
+  List.iteri
+    (fun i (flat, _) ->
+      let status =
+        match outcomes.(i) with
+        | Pool.Done r -> Done r
+        | Pool.Crashed msg -> Crashed msg
+        | Pool.Timed_out s -> Timed_out s
+      in
+      Hashtbl.replace by_flat flat status)
+    to_run;
+  let cells_of (c : Space.candidate) =
+    List.filter_map
+      (fun (flat, c', tech, _, hit) ->
+        if c'.Space.index <> c.Space.index then None
+        else
+          Some
+            (match hit with
+            | Some r -> { technique = tech; status = Done r; cached = true }
+            | None ->
+                {
+                  technique = tech;
+                  status = Hashtbl.find by_flat flat;
+                  cached = false;
+                }))
+      entries
+  in
+  let rows = List.map (fun c -> { candidate = c; cells = cells_of c }) cands in
+  let failed =
+    List.fold_left
+      (fun acc r ->
+        acc
+        + List.length
+            (List.filter
+               (fun cell ->
+                 match cell.status with
+                 | Crashed _ | Timed_out _ -> true
+                 | Done _ -> false)
+               r.cells))
+      0 rows
+  in
+  let hits = List.length entries - List.length to_run in
+  {
+    space_name = space.Space.space_name;
+    scenario;
+    requirement;
+    deadline_us;
+    techniques;
+    rows;
+    cache_hits = hits;
+    cache_misses = (if cache = None then 0 else List.length to_run);
+    executed = List.length to_run;
+    failed;
+    workers;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let row_wcrt_us row =
+  let measures =
+    List.filter_map
+      (fun c -> match c.status with Done r -> Some r.Job.measure | _ -> None)
+      row.cells
+  in
+  let exact =
+    List.find_map (function Job.Exact v -> Some v | _ -> None) measures
+  in
+  let fold_opt f vs = match vs with [] -> None | v :: tl -> Some (List.fold_left f v tl) in
+  let uppers =
+    List.filter_map (function Job.Upper v -> Some v | _ -> None) measures
+  in
+  let lowers =
+    List.filter_map (function Job.Lower v -> Some v | _ -> None) measures
+  in
+  match exact with
+  | Some v -> Some v
+  | None -> (
+      match fold_opt min uppers with
+      | Some v -> Some v
+      | None -> fold_opt max lowers)
+
+let feasibility ~deadline_us row =
+  match deadline_us with
+  | None -> `Unknown
+  | Some d ->
+      let measures =
+        List.filter_map
+          (fun c ->
+            match c.status with Done r -> Some r.Job.measure | _ -> None)
+          row.cells
+      in
+      let exact =
+        List.find_map (function Job.Exact v -> Some v | _ -> None) measures
+      in
+      let best_upper =
+        List.fold_left
+          (fun acc m ->
+            match m with
+            | Job.Upper v -> Some (match acc with None -> v | Some a -> min a v)
+            | _ -> acc)
+          None measures
+      in
+      let best_lower =
+        List.fold_left
+          (fun acc m ->
+            match m with
+            | Job.Lower v -> Some (match acc with None -> v | Some a -> max a v)
+            | _ -> acc)
+          None measures
+      in
+      (match exact with
+      | Some e -> if e <= d then `Feasible else `Infeasible
+      | None -> (
+          match best_upper with
+          | Some u when u <= d -> `Feasible
+          | _ -> (
+              match best_lower with
+              | Some l when l >= d -> `Infeasible
+              | _ -> `Unknown)))
+
+let frontier report =
+  report.rows
+  |> List.filter (fun r -> row_wcrt_us r <> None)
+  |> Pareto.frontier ~metrics:(fun r ->
+         ( float_of_int (Option.get (row_wcrt_us r)),
+           Space.cost r.candidate ))
+
+let pp ppf report =
+  let n_cands = List.length report.rows in
+  let n_tech = List.length report.techniques in
+  Format.fprintf ppf "@[<v>== design-space exploration: %s :: %s/%s"
+    report.space_name report.scenario report.requirement;
+  (match report.deadline_us with
+  | Some d -> Format.fprintf ppf " (deadline %a ms)" Units.pp_ms d
+  | None -> ());
+  Format.fprintf ppf " ==@,";
+  Format.fprintf ppf
+    "%d candidates x %d techniques = %d jobs: %d cached, %d executed (%d \
+     failed) on %d workers in %.2fs"
+    n_cands n_tech (n_cands * n_tech) report.cache_hits report.executed
+    report.failed report.workers report.wall_s;
+  if report.executed > 0 && report.wall_s > 0.0 then
+    Format.fprintf ppf " (%.2f jobs/s)"
+      (float_of_int report.executed /. report.wall_s);
+  Format.fprintf ppf "@,@,";
+  Format.fprintf ppf "%-4s %-36s %8s" "#" "candidate" "cost";
+  List.iter
+    (fun t -> Format.fprintf ppf " %12s" (Job.technique_name t))
+    report.techniques;
+  Format.fprintf ppf " %10s@," "verdict";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-4d %-36s %8.1f" row.candidate.Space.index
+        (Space.label row.candidate)
+        (Space.cost row.candidate);
+      List.iter
+        (fun cell ->
+          let text =
+            match cell.status with
+            | Done r ->
+                Format.asprintf "%a%s" Job.pp_measure r.Job.measure
+                  (if cell.cached then "*" else "")
+            | Crashed _ -> "crash"
+            | Timed_out _ -> "timeout"
+          in
+          Format.fprintf ppf " %12s" text)
+        row.cells;
+      let verdict =
+        match feasibility ~deadline_us:report.deadline_us row with
+        | `Feasible -> "feasible"
+        | `Infeasible -> "INFEASIBLE"
+        | `Unknown -> "?"
+      in
+      Format.fprintf ppf " %10s@," verdict)
+    report.rows;
+  Format.fprintf ppf "@,(* = cached result)@,";
+  let front = frontier report in
+  Format.fprintf ppf "@,Pareto frontier over (wcrt, cost):@,";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "  #%-3d %-36s wcrt %a ms, cost %.1f@,"
+        row.candidate.Space.index
+        (Space.label row.candidate)
+        Units.pp_ms
+        (Option.get (row_wcrt_us row))
+        (Space.cost row.candidate))
+    front;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,10 @@
+let frontier ~metrics items =
+  let tagged = List.map (fun x -> (metrics x, x)) items in
+  let dominates (x1, y1) (x2, y2) =
+    x1 <= x2 && y1 <= y2 && (x1 < x2 || y1 < y2)
+  in
+  tagged
+  |> List.filter (fun (m, _) ->
+         not (List.exists (fun (m', _) -> dominates m' m) tagged))
+  |> List.sort (fun (m1, _) (m2, _) -> compare m1 m2)
+  |> List.map snd

@@ -1,0 +1,8 @@
+(** Pareto frontier over two minimized metrics (WCRT, cost proxy).
+
+    An item is on the frontier iff no other item is at least as good
+    in both metrics and strictly better in one. *)
+
+val frontier : metrics:('a -> float * float) -> 'a list -> 'a list
+(** Non-dominated subset, sorted by the first metric (ties by the
+    second).  Items with identical metrics are all kept. *)

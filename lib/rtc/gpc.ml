@@ -234,3 +234,14 @@ let pp ppf t =
         st.scenario st.step_name st.resource st.wcet st.delay st.backlog)
     t.steps;
   Format.fprintf ppf "@]"
+
+let wcrt_bound ?max_iterations ?horizon sys ~scenario ~requirement =
+  match analyze ?max_iterations ?horizon sys with
+  | t -> (
+      match wcrt t sys ~scenario ~requirement with
+      | v -> Ok v
+      | exception Not_found ->
+          Error
+            (Printf.sprintf "unknown scenario/requirement %s/%s" scenario
+               requirement))
+  | exception Diverged msg -> Error ("diverged: " ^ msg)

@@ -41,4 +41,15 @@ val wcrt :
   t -> Ita_core.Sysmodel.t -> scenario:string -> requirement:string -> int
 (** Sum of component delays along the requirement's window. *)
 
+val wcrt_bound :
+  ?max_iterations:int ->
+  ?horizon:int ->
+  Ita_core.Sysmodel.t ->
+  scenario:string ->
+  requirement:string ->
+  (int, string) result
+(** [analyze] + [wcrt] in one exception-free call — the batch-job
+    entry point: divergence comes back as [Error] instead of escaping
+    a sweep. *)
+
 val pp : Format.formatter -> t -> unit

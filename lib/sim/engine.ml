@@ -321,3 +321,16 @@ let run ~seed ~horizon_us ?(sporadic_slack = 0.1) (sys : Sysmodel.t) =
       Array.to_list
         (Array.map (fun r -> (r.res.Resource.name, r.busy)) rs);
   }
+
+let max_response ~runs ~horizon_us ?(first_seed = 1) ?sporadic_slack sys
+    ~scenario ~requirement =
+  let worst = ref 0 in
+  for seed = first_seed to first_seed + runs - 1 do
+    let stats = run ~seed ~horizon_us ?sporadic_slack sys in
+    List.iter
+      (fun (s : sample) ->
+        if s.scenario = scenario && s.requirement = requirement then
+          worst := max !worst s.response_us)
+      stats.samples
+  done;
+  !worst

@@ -237,3 +237,15 @@ let pp ppf t =
         Evstream.pp st.activation)
     t.steps;
   Format.fprintf ppf "@]"
+
+let wcrt_bound ?max_iterations sys ~scenario ~requirement =
+  match analyze ?max_iterations sys with
+  | t -> (
+      match wcrt t sys ~scenario ~requirement with
+      | v -> Ok v
+      | exception Not_found ->
+          Error
+            (Printf.sprintf "unknown scenario/requirement %s/%s" scenario
+               requirement))
+  | exception Diverged msg -> Error ("diverged: " ^ msg)
+  | exception Busywindow.Unschedulable msg -> Error ("unschedulable: " ^ msg)

@@ -36,4 +36,14 @@ val wcrt :
 (** Sum of local [r_max] along the requirement's window,
     microseconds. *)
 
+val wcrt_bound :
+  ?max_iterations:int ->
+  Ita_core.Sysmodel.t ->
+  scenario:string ->
+  requirement:string ->
+  (int, string) result
+(** [analyze] + [wcrt] in one exception-free call — the batch-job
+    entry point: divergence and unschedulability come back as
+    [Error] instead of escaping a sweep. *)
+
 val pp : Format.formatter -> t -> unit

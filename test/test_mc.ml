@@ -136,6 +136,77 @@ let test_probe_lower () =
   Alcotest.(check (option int)) "probe climbs to 6" (Some 6) r.Wcrt.lower
 
 (* ------------------------------------------------------------------ *)
+(* WCRT drivers under exhausted budgets                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_binary_search_budget_starved () =
+  (* one state is never enough even to decide c = 0: the search must
+     stop immediately and admit it knows nothing *)
+  let net, _x, y = Models.two_phase () in
+  let r =
+    Wcrt.binary_search ~budget:(Reach.states 1) ~hi:8 net
+      ~at:(Query.at net ~comp:"P" ~loc:"L2")
+      ~clock:y
+  in
+  Alcotest.(check (option int)) "no lower bound" None r.Wcrt.lower;
+  Alcotest.(check (option int)) "no upper bound" None r.Wcrt.upper;
+  Alcotest.(check int) "stopped after the first probe" 1 r.Wcrt.runs
+
+let test_binary_search_budget_sound =
+  QCheck2.Test.make ~count:30 ~name:"binary search sound under any budget"
+    QCheck2.Gen.(int_range 1 8)
+    (fun b ->
+      (* whatever partial bounds survive the budget must bracket the
+         true sup (6, first unreachable 7) *)
+      let net, _x, y = Models.two_phase () in
+      let r =
+        Wcrt.binary_search ~budget:(Reach.states b) ~hi:8 net
+          ~at:(Query.at net ~comp:"P" ~loc:"L2")
+          ~clock:y
+      in
+      let lower_ok =
+        match r.Wcrt.lower with None -> true | Some l -> l >= 0 && l <= 6
+      in
+      let upper_ok =
+        match r.Wcrt.upper with None -> true | Some u -> u >= 7
+      in
+      let ordered =
+        match (r.Wcrt.lower, r.Wcrt.upper) with
+        | Some l, Some u -> l < u
+        | _ -> true
+      in
+      r.Wcrt.runs >= 1 && lower_ok && upper_ok && ordered)
+
+let test_sup_budget_exhausted () =
+  let net, _x, y = Models.two_phase () in
+  match
+    Wcrt.sup ~budget:(Reach.states 1) net
+      ~at:(Query.at net ~comp:"P" ~loc:"L2")
+      ~clock:y
+  with
+  | Wcrt.Sup_budget_exhausted { observed; _ } -> (
+      (* anything observed before the cut-off is a sound lower bound *)
+      match observed with
+      | None -> ()
+      | Some v ->
+          Alcotest.(check bool) "observed <= true sup" true (v <= 6))
+  | _ -> Alcotest.fail "a one-state budget must exhaust"
+
+let test_probe_lower_monotone =
+  QCheck2.Test.make ~count:50 ~name:"probe_lower climbs to start + k*step"
+    QCheck2.Gen.(pair (int_range 0 6) (int_range 1 4))
+    (fun (start, step) ->
+      (* goal && y >= c is reachable exactly for c <= 6, so the climb
+         must end on the largest start + i*step below that line *)
+      let net, _x, y = Models.two_phase () in
+      let r =
+        Wcrt.probe_lower ~order:Reach.Dfs net
+          ~at:(Query.at net ~comp:"P" ~loc:"L2")
+          ~clock:y ~budget:Reach.no_budget ~start ~step
+      in
+      r.Wcrt.lower = Some (start + (step * ((6 - start) / step))))
+
+(* ------------------------------------------------------------------ *)
 (* Search orders agree on verdicts                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -321,6 +392,12 @@ let () =
           Alcotest.test_case "binary search" `Quick test_binary_search;
           QCheck_alcotest.to_alcotest test_binary_search_agrees_with_sup;
           Alcotest.test_case "probe lower" `Quick test_probe_lower;
+          Alcotest.test_case "binary search starved" `Quick
+            test_binary_search_budget_starved;
+          QCheck_alcotest.to_alcotest test_binary_search_budget_sound;
+          Alcotest.test_case "sup budget exhausted" `Quick
+            test_sup_budget_exhausted;
+          QCheck_alcotest.to_alcotest test_probe_lower_monotone;
         ] );
       ( "semantics-e2e",
         [
