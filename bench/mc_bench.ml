@@ -1,0 +1,244 @@
+(* Zone-engine benchmark: ExtraM vs Extra+LU, machine-readable.
+
+   Runs the WCRT sup-query on the tractable radio-navigation cells
+   (the paper's case study; the periodic-with-offset column is the
+   acceptance gate) and a full exploration of a synthetic token-ring
+   scaling family, under both abstractions, and writes BENCH_mc.json
+   with explored/stored/transitions/elapsed per cell per abstraction.
+
+   The two abstractions must report identical WCRT results on every
+   cell — Extra+LU only wins by exploring fewer symbolic states.
+
+   Run with: dune exec bench/mc_bench.exe            (full suite)
+             BENCH_QUICK=1 dune exec bench/mc_bench.exe   (CI smoke)
+   Optional argv.(1): output path (default BENCH_mc.json). *)
+
+open Ita_core
+open Ita_ta
+module R = Ita_casestudy.Radionav
+module Reach = Ita_mc.Reach
+module Wcrt = Ita_mc.Wcrt
+
+let quick = Sys.getenv_opt "BENCH_QUICK" <> None
+
+type run = {
+  explored : int;
+  stored : int;
+  transitions : int;
+  elapsed : float;
+  result : string;  (* WCRT value or verdict fingerprint *)
+}
+
+let run_of_stats (s : Reach.stats) result =
+  {
+    explored = s.Reach.explored;
+    stored = s.Reach.stored;
+    transitions = s.Reach.transitions;
+    elapsed = s.Reach.elapsed;
+    result;
+  }
+
+type cell = { name : string; kind : string; extram : run; extralu : run }
+
+(* ------------------------------------------------------------------ *)
+(* Radio-navigation cells: the paper's WCRT sup-queries               *)
+(* ------------------------------------------------------------------ *)
+
+let radionav_cell (row : R.row) column =
+  let sys = R.system row.R.combo column in
+  let s = Sysmodel.scenario sys row.R.scenario in
+  let req = Scenario.requirement s row.R.requirement in
+  let gen = Gen.generate ~measure:(row.R.scenario, req) sys in
+  let obs = Option.get gen.Gen.observer in
+  let sup abstraction =
+    match
+      Wcrt.sup ~abstraction gen.Gen.net ~at:obs.Gen.seen
+        ~clock:obs.Gen.obs_clock
+    with
+    | Wcrt.Sup { value; stats; _ } ->
+        run_of_stats stats (Printf.sprintf "wcrt=%d" value)
+    | Wcrt.Goal_unreachable stats -> run_of_stats stats "unreachable"
+    | Wcrt.Sup_budget_exhausted { stats; _ } -> run_of_stats stats "budget"
+    | Wcrt.Sup_unbounded { stats; _ } -> run_of_stats stats "unbounded"
+  in
+  let name =
+    Printf.sprintf "%s/%s/%s [%s]"
+      (match row.R.combo with R.Cv_tmc -> "cv" | R.Al_tmc -> "al")
+      row.R.scenario row.R.requirement (R.column_name column)
+  in
+  {
+    name;
+    kind = "radionav";
+    extram = sup Reach.ExtraM;
+    extralu = sup Reach.ExtraLU;
+  }
+
+let radionav_cells () =
+  (* the cheap cells only: everything in the po column, plus the
+     AddressLookup-combination pno/sp columns in the full suite *)
+  let cells =
+    List.map (fun row -> (row, R.Po)) R.table1_rows
+    @
+    if quick then []
+    else
+      List.filter_map
+        (fun (row : R.row) ->
+          if row.R.combo = R.Al_tmc then Some (row, R.Pno) else None)
+        R.table1_rows
+  in
+  List.map (fun (row, col) -> radionav_cell row col) cells
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic scaling family: a periodic pacer plus n sporadic clients.
+   Each client clock only appears in a lower-bound guard
+   ([x_i >= S_i] on its own re-arm loop), so its U constant is 0 and
+   Extra+LU immediately forgets how large it has grown — the classic
+   LU win on minimum-separation (sporadic) event models, which
+   classical ExtraM (with k = S_i) cannot merge.                       *)
+(* ------------------------------------------------------------------ *)
+
+let sporadic_family n =
+  let b = Network.Builder.create () in
+  let p = Network.Builder.clock b "p" in
+  let clocks =
+    Array.init n (fun i -> Network.Builder.clock b (Printf.sprintf "x%d" i))
+  in
+  let period = 4 in
+  Network.Builder.add_automaton b
+    (Automaton.make ~name:"Pacer"
+       ~locations:
+         [
+           {
+             Automaton.loc_name = "P";
+             invariant = Guard.clock_le p period;
+             kind = Automaton.Normal;
+           };
+         ]
+       ~edges:
+         [
+           {
+             Automaton.src = 0;
+             guard = Guard.clock_eq p period;
+             sync = Automaton.NoSync;
+             update = Update.reset p;
+             dst = 0;
+           };
+         ]
+       ~initial:0);
+  for i = 0 to n - 1 do
+    let x = clocks.(i) in
+    let sep = 3 + (2 * i) in
+    Network.Builder.add_automaton b
+      (Automaton.make
+         ~name:(Printf.sprintf "C%d" i)
+         ~locations:
+           [
+             {
+               Automaton.loc_name = "L";
+               invariant = Guard.tt;
+               kind = Automaton.Normal;
+             };
+           ]
+         ~edges:
+           [
+             {
+               Automaton.src = 0;
+               guard = Guard.clock_ge x sep;
+               sync = Automaton.NoSync;
+               update = Update.reset x;
+               dst = 0;
+             };
+           ]
+         ~initial:0)
+  done;
+  Network.Builder.build b
+
+let sporadic_cell n =
+  let net = sporadic_family n in
+  let explore abstraction =
+    match Reach.explore ~abstraction net ~on_store:(fun _ -> ()) with
+    | `Complete stats -> run_of_stats stats "complete"
+    | `Budget_exhausted stats -> run_of_stats stats "budget"
+  in
+  {
+    name = Printf.sprintf "sporadic %d" n;
+    kind = "synthetic";
+    extram = explore Reach.ExtraM;
+    extralu = explore Reach.ExtraLU;
+  }
+
+let ring_cells () =
+  List.map sporadic_cell (if quick then [ 3 ] else [ 1; 2; 3; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (by hand; the repo carries no JSON dependency)          *)
+(* ------------------------------------------------------------------ *)
+
+let json_run buf r =
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"explored": %d, "stored": %d, "transitions": %d, "elapsed_s": %.4f, "result": %S}|}
+       r.explored r.stored r.transitions r.elapsed r.result)
+
+let json_cell buf c =
+  let ratio =
+    if c.extram.explored = 0 then 1.0
+    else float_of_int c.extralu.explored /. float_of_int c.extram.explored
+  in
+  Buffer.add_string buf
+    (Printf.sprintf {|    {"name": %S, "kind": %S, "results_match": %b, "explored_ratio": %.4f, "extram": |}
+       c.name c.kind
+       (c.extram.result = c.extralu.result)
+       ratio);
+  json_run buf c.extram;
+  Buffer.add_string buf {|, "extralu": |};
+  json_run buf c.extralu;
+  Buffer.add_string buf "}"
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_mc.json" in
+  let cells = radionav_cells () @ ring_cells () in
+  let mismatches =
+    List.filter (fun c -> c.extram.result <> c.extralu.result) cells
+  in
+  List.iter
+    (fun c ->
+      Printf.printf "%-40s extram %7d  extralu %7d  ratio %.3f  [%s]\n%!"
+        c.name c.extram.explored c.extralu.explored
+        (if c.extram.explored = 0 then 1.0
+         else float_of_int c.extralu.explored /. float_of_int c.extram.explored)
+        (if c.extram.result = c.extralu.result then c.extram.result
+         else Printf.sprintf "MISMATCH %s vs %s" c.extram.result c.extralu.result))
+    cells;
+  let po_cells = List.filter (fun c -> c.kind = "radionav") cells in
+  let total l f = List.fold_left (fun a c -> a + f c) 0 l in
+  let ratio_of l =
+    let m = total l (fun c -> c.extram.explored) in
+    let lu = total l (fun c -> c.extralu.explored) in
+    if m = 0 then 1.0 else float_of_int lu /. float_of_int m
+  in
+  let po_ratio = ratio_of po_cells in
+  Printf.printf "radionav explored ratio (extralu / extram): %.3f\n%!" po_ratio;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf {|  "suite": "mc-zone-engine", "quick": %b,|} quick);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Printf.sprintf {|  "radionav_explored_ratio": %.4f,|} po_ratio);
+  Buffer.add_string buf "\n  \"cells\": [\n";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      json_cell buf c)
+    cells;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if mismatches <> [] then begin
+    Printf.eprintf "ERROR: %d cells disagree between abstractions\n"
+      (List.length mismatches);
+    exit 1
+  end

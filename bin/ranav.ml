@@ -52,6 +52,25 @@ let order_conv =
   in
   Arg.conv (parse, print)
 
+let abstraction_conv =
+  let parse = function
+    | "extram" -> Ok Reach.ExtraM
+    | "extralu" -> Ok Reach.ExtraLU
+    | s -> Error (`Msg (Printf.sprintf "unknown abstraction %S (extram or extralu)" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with Reach.ExtraM -> "extram" | Reach.ExtraLU -> "extralu")
+  in
+  Arg.conv (parse, print)
+
+let abstraction_arg =
+  Arg.(
+    value
+    & opt abstraction_conv Reach.ExtraLU
+    & info [ "abstraction" ]
+        ~doc:"zone abstraction: extralu (default) or extram (oracle)")
+
 (* the parser above cannot know the seed yet; thread it in here *)
 let seeded_order order seed =
   match order with Reach.Random_dfs _ -> Reach.Random_dfs seed | o -> o
@@ -80,7 +99,8 @@ let budget_arg =
 (* wcrt                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_wcrt combo column scenario requirement order seed budget probe_start_ms =
+let run_wcrt combo column scenario requirement order seed budget probe_start_ms
+    abstraction =
   let order = seeded_order order seed in
   let sys = R.system combo column in
   let method_ =
@@ -95,7 +115,7 @@ let run_wcrt combo column scenario requirement order seed budget probe_start_ms 
             step = Units.us_of_ms 10.0;
           }
   in
-  let r = Analyze.wcrt ~method_ ~order sys ~scenario ~requirement in
+  let r = Analyze.wcrt ~method_ ~order ~abstraction sys ~scenario ~requirement in
   Format.printf "%s %s/%s [%s]: uncontended %a ms, wcrt %a ms (%d states, %.2fs)@."
     (match combo with R.Cv_tmc -> "cv" | R.Al_tmc -> "al")
     scenario requirement (R.column_name column) Units.pp_ms
@@ -117,7 +137,7 @@ let wcrt_cmd =
   Cmd.v (Cmd.info "wcrt" ~doc:"model-check one requirement")
     Term.(
       const run_wcrt $ combo_arg $ column_arg $ scenario $ requirement
-      $ order_arg $ seed_arg $ budget_arg $ probe_start)
+      $ order_arg $ seed_arg $ budget_arg $ probe_start $ abstraction_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -411,7 +431,7 @@ let technique_conv =
 
 let run_explore combo column scenario requirement techniques mmi_mips rad_mips
     nav_mips bus_kbps decode_on jobs timeout_s cache_dir no_cache mc_states
-    mc_seconds sim_runs sim_horizon_s inject_crash =
+    mc_seconds mc_abstraction sim_runs sim_horizon_s inject_crash =
   let open Ita_dse in
   let space =
     Spaces.radionav ~combo ~column ~mmi_mips ~rad_mips ~nav_mips ~bus_kbps
@@ -422,6 +442,7 @@ let run_explore combo column scenario requirement techniques mmi_mips rad_mips
     {
       Job.mc_states;
       mc_seconds;
+      mc_abstraction;
       sim_runs;
       sim_horizon_us = int_of_float (sim_horizon_s *. 1e6);
     }
@@ -529,8 +550,8 @@ let explore_cmd =
     Term.(
       const run_explore $ combo $ column $ scenario $ requirement
       $ techniques $ mmi $ rad $ nav $ bus $ decode_on $ jobs $ timeout
-      $ cache_dir $ no_cache $ mc_states $ mc_seconds $ sim_runs $ sim_horizon
-      $ inject_crash)
+      $ cache_dir $ no_cache $ mc_states $ mc_seconds $ abstraction_arg
+      $ sim_runs $ sim_horizon $ inject_crash)
 
 (* ------------------------------------------------------------------ *)
 (* ablation: scheduler policies                                        *)

@@ -22,7 +22,7 @@ type result = {
   uncontended_us : int;
 }
 
-let wcrt ?(method_ = Exhaustive) ?order sys ~scenario ~requirement =
+let wcrt ?(method_ = Exhaustive) ?order ?abstraction sys ~scenario ~requirement =
   let s = Sysmodel.scenario sys scenario in
   let req = Scenario.requirement s requirement in
   let gen = Gen.generate ~measure:(scenario, req) sys in
@@ -38,7 +38,8 @@ let wcrt ?(method_ = Exhaustive) ?order sys ~scenario ~requirement =
     match method_ with
     | Exhaustive -> (
         match
-          Wcrt.sup ?order ~initial_ceiling:(max 4 (4 * uncontended_us))
+          Wcrt.sup ?order ?abstraction
+            ~initial_ceiling:(max 4 (4 * uncontended_us))
             gen.Gen.net ~at ~clock
         with
         | Wcrt.Sup { value; stats; _ } ->
@@ -55,7 +56,9 @@ let wcrt ?(method_ = Exhaustive) ?order sys ~scenario ~requirement =
             (Wcrt_lower_bound ceiling, stats.Reach.explored, stats.Reach.elapsed)
         )
     | Binary { hi } -> (
-        let r = Wcrt.binary_search ?order ~hi gen.Gen.net ~at ~clock in
+        let r =
+          Wcrt.binary_search ?order ?abstraction ~hi gen.Gen.net ~at ~clock
+        in
         match (r.Wcrt.lower, r.Wcrt.upper) with
         | Some l, Some u when u = l + 1 ->
             (Exact_wcrt l, r.Wcrt.total_explored, r.Wcrt.total_elapsed)
@@ -66,7 +69,8 @@ let wcrt ?(method_ = Exhaustive) ?order sys ~scenario ~requirement =
         )
     | Structured_testing { order; budget; start; step } -> (
         let r =
-          Wcrt.probe_lower ~order gen.Gen.net ~at ~clock ~budget ~start ~step
+          Wcrt.probe_lower ~order ?abstraction gen.Gen.net ~at ~clock ~budget
+            ~start ~step
         in
         match r.Wcrt.lower with
         | Some l -> (Wcrt_lower_bound l, r.Wcrt.total_explored, r.Wcrt.total_elapsed)
@@ -89,7 +93,7 @@ type budget_report = {
   verdict : verdict;
 }
 
-let check_budgets ?method_ ?order (sys : Sysmodel.t) =
+let check_budgets ?method_ ?order ?abstraction (sys : Sysmodel.t) =
   List.concat_map
     (fun (s : Scenario.t) ->
       List.filter_map
@@ -98,7 +102,8 @@ let check_budgets ?method_ ?order (sys : Sysmodel.t) =
           | None -> None
           | Some budget ->
               let r =
-                wcrt ?method_ ?order sys ~scenario:s.Scenario.name
+                wcrt ?method_ ?order ?abstraction sys
+                  ~scenario:s.Scenario.name
                   ~requirement:req.Scenario.req_name
               in
               let verdict =

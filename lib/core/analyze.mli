@@ -37,6 +37,7 @@ type result = {
 val wcrt :
   ?method_:method_ ->
   ?order:Reach.order ->
+  ?abstraction:Reach.abstraction ->
   Sysmodel.t ->
   scenario:string ->
   requirement:string ->
@@ -60,7 +61,10 @@ type budget_report = {
 }
 
 val check_budgets :
-  ?method_:method_ -> ?order:Ita_mc.Reach.order -> Sysmodel.t ->
+  ?method_:method_ ->
+  ?order:Ita_mc.Reach.order ->
+  ?abstraction:Reach.abstraction ->
+  Sysmodel.t ->
   budget_report list
 (** The paper's framing — "does the product work, given a set of hard
     resource restrictions?" — as one call: analyze every requirement

@@ -164,6 +164,54 @@ let extrapolate z k =
     if !changed then close z
   end
 
+(* Extra+LU (Behrmann et al., "Lower and upper bounds in zone-based
+   abstractions of timed automata"): like [extrapolate] but with
+   separate lower (L) and upper (U) maximal constants, plus the
+   diagonal-aware refinement that consults the zone's position — the
+   original row 0 — before deciding: once the zone lies entirely above
+   L(x_i), no lower-bound guard on [x_i] can tell members apart, so
+   every bound involving [x_i] as minuend is dead; likewise a zone
+   entirely above U(x_j) satisfies no upper-bound guard on [x_j].
+   Sound for diagonal-free automata only (which {!Guard.t} enforces by
+   construction). *)
+let extrapolate_lu z l u =
+  assert (Array.length l = z.n && Array.length u = z.n);
+  assert (l.(0) = 0 && u.(0) = 0);
+  if not (is_empty z) then begin
+    let n = z.n in
+    (* the conditions below read the *original* c_{0j} entries; row 0
+       itself is rewritten by the i = 0 case, so snapshot it first *)
+    let row0 = Array.sub z.m 0 n in
+    let above_l j = row0.(j) < (Bound.lt (-l.(j)) :> int) in
+    let above_u j = row0.(j) < (Bound.lt (-u.(j)) :> int) in
+    let changed = ref false in
+    for i = 1 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          let b = get z i j in
+          if
+            (not (Bound.is_infinity b))
+            && (Bound.lt_bound (Bound.le l.(i)) b
+               || above_l i
+               || (j > 0 && above_u j))
+          then begin
+            bset z i j Bound.infinity;
+            changed := true
+          end
+        end
+      done
+    done;
+    for j = 1 to n - 1 do
+      (* lower bounds of x_j relax to (< -U(x_j)) once the zone sits
+         strictly above U(x_j) *)
+      if above_u j then begin
+        bset z 0 j (Bound.lt (-u.(j)));
+        changed := true
+      end
+    done;
+    if !changed then close z
+  end
+
 let sup z i = get z i 0
 let inf z i = get z 0 i
 

@@ -64,6 +64,20 @@ val extrapolate : t -> int array -> unit
     Sound for diagonal-free timed automata; the result is
     re-canonicalized. *)
 
+val extrapolate_lu : t -> int array -> int array -> unit
+(** [extrapolate_lu z l u] applies Extra+LU — the coarser abstraction
+    based on separate lower/upper maximal constants (Behrmann et al.;
+    Bouyer et al.'s survey "Zone-based verification of timed automata:
+    extrapolations, simulations and what next?", 2022) — in place, with
+    the same re-canonicalizing contract as {!extrapolate}.  [l.(i)] is
+    the largest constant any lower-bound guard ([x_i >(=) c]) compares
+    [x_i] against, [u.(i)] the same for upper-bound guards; both must
+    have index [0] equal to [0].  Includes the diagonal-aware
+    refinement: bounds are also dropped when the zone as a whole lies
+    strictly above [l.(i)] (resp. [u.(j)]).  Sound only for
+    diagonal-free automata; strictly coarser than (or equal to)
+    {!extrapolate} with [k = max l u]. *)
+
 val sup : t -> int -> Bound.t
 (** [sup z i] is the least upper bound of clock [i] over the zone
     ([Bound.infinity] when unbounded). *)

@@ -13,8 +13,9 @@ let create ~dir =
 
 let dir t = t.dir
 
-(* bump when Job.result changes shape: old entries become misses *)
-let version = "ita-dse-v1"
+(* bump when Job.result or the key fields change shape: old entries
+   become misses *)
+let version = "ita-dse-v2"
 
 let job_key (spec : Job.spec) =
   let b = spec.Job.budget in
@@ -30,6 +31,9 @@ let job_key (spec : Job.spec) =
             spec.Job.requirement;
             opt string_of_int b.Job.mc_states;
             opt string_of_float b.Job.mc_seconds;
+            (match b.Job.mc_abstraction with
+            | Ita_mc.Reach.ExtraM -> "extram"
+            | Ita_mc.Reach.ExtraLU -> "extralu");
             string_of_int b.Job.sim_runs;
             string_of_int b.Job.sim_horizon_us;
           ]))

@@ -22,12 +22,19 @@ let technique_of_string = function
 type budget = {
   mc_states : int option;
   mc_seconds : float option;
+  mc_abstraction : Reach.abstraction;
   sim_runs : int;
   sim_horizon_us : int;
 }
 
 let default_budget =
-  { mc_states = None; mc_seconds = None; sim_runs = 5; sim_horizon_us = 30_000_000 }
+  {
+    mc_states = None;
+    mc_seconds = None;
+    mc_abstraction = Reach.ExtraLU;
+    sim_runs = 5;
+    sim_horizon_us = 30_000_000;
+  }
 
 type spec = {
   sys : Sysmodel.t;
@@ -62,7 +69,10 @@ let run_mc spec =
       Reach.max_seconds = spec.budget.mc_seconds;
     }
   in
-  match Wcrt.sup ~budget gen.Gen.net ~at:obs.Gen.seen ~clock:obs.Gen.obs_clock with
+  match
+    Wcrt.sup ~budget ~abstraction:spec.budget.mc_abstraction gen.Gen.net
+      ~at:obs.Gen.seen ~clock:obs.Gen.obs_clock
+  with
   | Wcrt.Sup { value; kind = _; stats } ->
       { measure = Exact value; elapsed = stats.Reach.elapsed; explored = stats.Reach.explored }
   | Wcrt.Goal_unreachable stats ->

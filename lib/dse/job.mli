@@ -19,12 +19,15 @@ val technique_of_string : string -> (technique, string) result
 type budget = {
   mc_states : int option;  (** state cap for the zone exploration *)
   mc_seconds : float option;  (** wall-clock cap for the exploration *)
+  mc_abstraction : Ita_mc.Reach.abstraction;
+      (** zone abstraction for the exploration *)
   sim_runs : int;  (** simulation seeds *)
   sim_horizon_us : int;  (** simulated time per seed *)
 }
 
 val default_budget : budget
-(** Unlimited model checking; 5 simulation seeds of 30 s each. *)
+(** Unlimited model checking under Extra+LU; 5 simulation seeds of
+    30 s each. *)
 
 type spec = {
   sys : Sysmodel.t;

@@ -22,6 +22,8 @@ let combine a b =
     max_seconds = tighter min a.max_seconds b.max_seconds;
   }
 
+type abstraction = Semantics.abstraction = ExtraM | ExtraLU
+
 type stats = {
   explored : int;
   stored : int;
@@ -45,24 +47,76 @@ end
 
 module H = Hashtbl.Make (State_key)
 
+(* One zone of the passed list.  [gen] is bumped whenever the antichain
+   prunes the slot, so a waiting-list entry can compare it against the
+   generation it recorded when pushed — an O(1) liveness probe instead
+   of the old [List.memq] scan of the whole antichain. *)
+type slot = { zone : Dbm.t; mutable gen : int }
+
+let dead_slot = { zone = Dbm.zero 0; gen = -1 }
+
+(* The passed list stores, per discrete state, the antichain of maximal
+   zones seen so far, in a growable array scanned without allocating.
+   [canon] is the interned discrete state: every later configuration
+   with an equal state is rewritten to share it physically, so one hash
+   lookup per successor replaces the former find-per-probe pattern. *)
+type entry = {
+  canon : Semantics.state;
+  mutable slots : slot array;
+  mutable len : int;
+}
+
+let entry_of passed (st : Semantics.state) =
+  match H.find_opt passed st with
+  | Some e -> e
+  | None ->
+      let e = { canon = st; slots = [||]; len = 0 } in
+      H.add passed st e;
+      e
+
+let subsumed_in e (z : Dbm.t) =
+  let i = ref 0 and hit = ref false in
+  while (not !hit) && !i < e.len do
+    if Dbm.subset z e.slots.(!i).zone then hit := true;
+    incr i
+  done;
+  !hit
+
+(* Insert [z], pruning stored zones it subsumes.  [resident] tracks the
+   true passed-list population for the final stats. *)
+let store_in e (z : Dbm.t) resident =
+  let keep = ref 0 in
+  for i = 0 to e.len - 1 do
+    let s = e.slots.(i) in
+    if Dbm.subset s.zone z then begin
+      s.gen <- s.gen + 1;
+      decr resident
+    end
+    else begin
+      e.slots.(!keep) <- s;
+      incr keep
+    end
+  done;
+  e.len <- !keep;
+  let s = { zone = z; gen = 0 } in
+  if e.len = Array.length e.slots then begin
+    let cap = max 4 (2 * e.len) in
+    let slots = Array.make cap s in
+    Array.blit e.slots 0 slots 0 e.len;
+    e.slots <- slots
+  end;
+  e.slots.(e.len) <- s;
+  e.len <- e.len + 1;
+  incr resident;
+  s
+
 type node = {
   config : Semantics.config;
   parent : int;  (* -1 for the root *)
   via : Semantics.label option;
+  slot : slot;  (* the stored zone backing this waiting entry *)
+  stamp : int;  (* [slot]'s generation when the node was pushed *)
 }
-
-(* The passed list stores, per discrete state, the antichain of maximal
-   zones seen so far. *)
-let subsumed passed (c : Semantics.config) =
-  match H.find_opt passed c.Semantics.state with
-  | None -> false
-  | Some zones -> List.exists (fun z -> Dbm.subset c.Semantics.zone z) !zones
-
-let store passed (c : Semantics.config) =
-  let z = c.Semantics.zone in
-  match H.find_opt passed c.Semantics.state with
-  | None -> H.add passed c.Semantics.state (ref [ z ])
-  | Some zones -> zones := z :: List.filter (fun z' -> not (Dbm.subset z' z)) !zones
 
 type waiting = { push : int -> unit; pop : unit -> int option }
 
@@ -93,8 +147,8 @@ type engine_result =
    configuration to its non-empty goal zone when it hits the target;
    goal checking happens at state creation time so that counterexamples
    are found as early as possible (UPPAAL does the same). *)
-let run ?(order = Bfs) ?(budget = no_budget) net ~goal ~on_store () :
-    engine_result =
+let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU) net
+    ~goal ~on_store () : engine_result =
   let t0 = Unix.gettimeofday () in
   let nodes : node Vec.t = Vec.create () in
   let passed = H.create 4096 in
@@ -102,11 +156,15 @@ let run ?(order = Bfs) ?(budget = no_budget) net ~goal ~on_store () :
   let rng =
     match order with Random_dfs seed -> Some (Prng.create seed) | _ -> None
   in
-  let explored = ref 0 and transitions = ref 0 and stored = ref 0 in
+  (* [resident] is the live passed-list population: incremented per
+     stored zone, decremented when the antichain prunes one, so the
+     final [stats.stored] reports zones actually resident at the end
+     rather than the historical store count. *)
+  let explored = ref 0 and transitions = ref 0 and resident = ref 0 in
   let stats () =
     {
       explored = !explored;
-      stored = !stored;
+      stored = !resident;
       transitions = !transitions;
       elapsed = Unix.gettimeofday () -. t0;
     }
@@ -122,37 +180,42 @@ let run ?(order = Bfs) ?(budget = no_budget) net ~goal ~on_store () :
      duplicates are subsumed away before they ever occupy the waiting
      list.  A pushed state whose zone got pruned by a larger newcomer
      is skipped at pop time — the newcomer covers its successors. *)
-  let still_stored (c : Semantics.config) =
-    match H.find_opt passed c.Semantics.state with
-    | None -> false
-    | Some zones -> List.memq c.Semantics.zone !zones
-  in
   let add via parent (c : Semantics.config) =
     match goal c with
     | Some gz ->
-        let id = Vec.push nodes { config = c; parent; via } in
+        let id =
+          Vec.push nodes { config = c; parent; via; slot = dead_slot; stamp = 0 }
+        in
         raise (Found (id, gz))
     | None ->
-        if not (subsumed passed c) then begin
-          store passed c;
-          incr stored;
+        let e = entry_of passed c.Semantics.state in
+        if not (subsumed_in e c.Semantics.zone) then begin
+          (* intern the discrete state: revisits of this entry now share
+             it physically, so equality short-circuits on [==] *)
+          let c =
+            if c.Semantics.state == e.canon then c
+            else { c with Semantics.state = e.canon }
+          in
+          let s = store_in e c.Semantics.zone resident in
           on_store c;
-          let id = Vec.push nodes { config = c; parent; via } in
+          let id = Vec.push nodes { config = c; parent; via; slot = s; stamp = s.gen } in
           waiting.push id
         end
   in
   try
-    add None (-1) (Semantics.initial net);
+    add None (-1) (Semantics.initial ~abstraction net);
     let continue = ref true in
     while !continue do
       match waiting.pop () with
       | None -> continue := false
       | Some id ->
-          let c = (Vec.get nodes id).config in
-          if still_stored c then begin
+          let n = Vec.get nodes id in
+          if n.slot.gen = n.stamp then begin
             incr explored;
             if over_budget () then raise Exit;
-            let succs = Array.of_list (Semantics.successors net c) in
+            let succs =
+              Array.of_list (Semantics.successors ~abstraction net n.config)
+            in
             (match rng with Some g -> Prng.shuffle g succs | None -> ());
             Array.iter
               (fun (label, c') ->
@@ -175,7 +238,7 @@ let witness_of nodes id =
   in
   go id []
 
-let reach ?order ?budget net (q : Query.t) =
+let reach ?order ?budget ?abstraction net (q : Query.t) =
   let net =
     List.fold_left
       (fun net (x, c) -> Network.bump_clock_bound net x c)
@@ -185,19 +248,19 @@ let reach ?order ?budget net (q : Query.t) =
   let goal c =
     Semantics.zone_of_goal net c q.Query.guard ~comp_locs:q.Query.comp_locs
   in
-  match run ?order ?budget net ~goal ~on_store:(fun _ -> ()) () with
+  match run ?order ?budget ?abstraction net ~goal ~on_store:(fun _ -> ()) () with
   | Goal_found (nodes, id, gz, stats) ->
       Reachable { witness = witness_of nodes id; goal_zone = gz; stats }
   | Space_exhausted stats -> Unreachable stats
   | Out_of_budget stats -> Budget_exhausted stats
 
-let explore ?order ?budget ?(extra_bounds = []) net ~on_store =
+let explore ?order ?budget ?abstraction ?(extra_bounds = []) net ~on_store =
   let net =
     List.fold_left
       (fun net (x, c) -> Network.bump_clock_bound net x c)
       net extra_bounds
   in
-  match run ?order ?budget net ~goal:(fun _ -> None) ~on_store () with
+  match run ?order ?budget ?abstraction net ~goal:(fun _ -> None) ~on_store () with
   | Goal_found _ -> assert false
   | Space_exhausted stats -> `Complete stats
   | Out_of_budget stats -> `Budget_exhausted stats

@@ -12,6 +12,11 @@ open Ita_ta
 
 type order = Bfs | Dfs | Random_dfs of int  (** seed *)
 
+type abstraction = Semantics.abstraction = ExtraM | ExtraLU
+    (** Finite abstraction applied to zones (see {!Semantics.abstraction}).
+        The default everywhere is [ExtraLU]; [ExtraM] is kept as a
+        differential-testing oracle and for exact goal-zone bounds. *)
+
 type budget = { max_states : int option; max_seconds : float option }
 
 val no_budget : budget
@@ -26,7 +31,9 @@ val combine : budget -> budget -> budget
 
 type stats = {
   explored : int;  (** symbolic states popped and expanded *)
-  stored : int;  (** zones in the passed list at the end *)
+  stored : int;
+      (** zones resident in the passed list at the end — zones pruned
+          by antichain subsumption are not counted *)
   transitions : int;  (** symbolic successors computed *)
   elapsed : float;  (** wall-clock seconds *)
 }
@@ -43,13 +50,23 @@ type outcome =
       (** the goal was not found within the budget: unreachability is
           NOT established. *)
 
-val reach : ?order:order -> ?budget:budget -> Network.t -> Query.t -> outcome
+val reach :
+  ?order:order ->
+  ?budget:budget ->
+  ?abstraction:abstraction ->
+  Network.t ->
+  Query.t ->
+  outcome
 (** The extrapolation constants are bumped with the query's clock
-    constants, so checking [y >= C] is sound for any [C]. *)
+    constants, so checking [y >= C] is sound for any [C].  Under the
+    default [ExtraLU] the returned goal zone may be coarser than the
+    exact reachable valuations (verdicts are unaffected); pass
+    [~abstraction:ExtraM] when tight goal-zone bounds matter. *)
 
 val explore :
   ?order:order ->
   ?budget:budget ->
+  ?abstraction:abstraction ->
   ?extra_bounds:(Guard.clock * int) list ->
   Network.t ->
   on_store:(Semantics.config -> unit) ->

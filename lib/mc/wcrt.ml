@@ -17,7 +17,7 @@ let goal_sup net (q : Query.t) clock (c : Semantics.config) =
   | None -> None
   | Some z -> Some (Dbm.sup z clock)
 
-let sup ?order ?budget ?(initial_ceiling = 1_000_000)
+let sup ?order ?budget ?abstraction ?(initial_ceiling = 1_000_000)
     ?(max_ceiling = 1 lsl 40) net ~at ~clock =
   let rec attempt ceiling =
     let best = ref None in
@@ -32,7 +32,9 @@ let sup ?order ?budget ?(initial_ceiling = 1_000_000)
       | Some b -> improve b
     in
     let extra_bounds = (clock, ceiling) :: Query.clock_constants net at in
-    let result = Reach.explore ?order ?budget ~extra_bounds net ~on_store in
+    let result =
+      Reach.explore ?order ?budget ?abstraction ~extra_bounds net ~on_store
+    in
     let observed () =
       match !best with
       | None -> None
@@ -68,11 +70,11 @@ type search_result = {
   total_elapsed : float;
 }
 
-let check ?order ?budget net (at : Query.t) clock c =
+let check ?order ?budget ?abstraction net (at : Query.t) clock c =
   let q = Query.with_guard at (Guard.clock_ge clock c) in
-  Reach.reach ?order ?budget net q
+  Reach.reach ?order ?budget ?abstraction net q
 
-let binary_search ?order ?budget ?(hi = 1_000_000) net ~at ~clock =
+let binary_search ?order ?budget ?abstraction ?(hi = 1_000_000) net ~at ~clock =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
     incr runs;
@@ -90,7 +92,7 @@ let binary_search ?order ?budget ?(hi = 1_000_000) net ~at ~clock =
   in
   let exception Stop of search_result in
   let test c =
-    match check ?order ?budget net at clock c with
+    match check ?order ?budget ?abstraction net at clock c with
     | Reach.Reachable { stats; _ } ->
         note stats;
         `Reachable
@@ -135,7 +137,7 @@ let binary_search ?order ?budget ?(hi = 1_000_000) net ~at ~clock =
     result (Some !lo) (Some !up)
   with Stop r -> r
 
-let probe_lower ?order net ~at ~clock ~budget ~start ~step =
+let probe_lower ?order ?abstraction net ~at ~clock ~budget ~start ~step =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
     incr runs;
@@ -146,7 +148,7 @@ let probe_lower ?order net ~at ~clock ~budget ~start ~step =
   let c = ref start in
   let continue = ref true in
   while !continue do
-    match check ?order ~budget net at clock !c with
+    match check ?order ?abstraction ~budget net at clock !c with
     | Reach.Reachable { stats; _ } ->
         note stats;
         lower := Some !c;

@@ -35,6 +35,7 @@ type sup_result =
 val sup :
   ?order:Reach.order ->
   ?budget:Reach.budget ->
+  ?abstraction:Reach.abstraction ->
   ?initial_ceiling:int ->
   ?max_ceiling:int ->
   Network.t ->
@@ -58,6 +59,7 @@ type search_result = {
 val binary_search :
   ?order:Reach.order ->
   ?budget:Reach.budget ->
+  ?abstraction:Reach.abstraction ->
   ?hi:int ->
   Network.t ->
   at:Query.t ->
@@ -69,6 +71,7 @@ val binary_search :
 
 val probe_lower :
   ?order:Reach.order ->
+  ?abstraction:Reach.abstraction ->
   Network.t ->
   at:Query.t ->
   clock:Guard.clock ->

@@ -23,7 +23,18 @@ type t = {
   var_ranges : (int * int) array;
   var_init : int array;
   channels : Channel.t array;
-  k : int array;  (** extrapolation constants, [k.(0) = 0] *)
+  k : int array;  (** classical (ExtraM) extrapolation constants, [k.(0) = 0] *)
+  lbase : int array;
+      (** per-clock global floor of the lower-bound constants L; query
+          constants registered with {!bump_clock_bound} land here *)
+  ubase : int array;  (** same for the upper-bound constants U *)
+  lloc : int array array array;
+      (** [lloc.(comp).(loc).(clock)]: largest constant a lower-bound
+          guard can still compare the clock against before its next
+          reset, from this component location on (backward fixpoint);
+          the per-state L bound is the max over components, then over
+          {!lbase}.  Feeds Extra+LU. *)
+  uloc : int array array array;  (** same for upper-bound guards/invariants *)
   active : bool array array array;
       (** [active.(comp).(loc).(clock)]: location-based clock activity
           (Daws-Yovine): a clock is active at a location when some path
@@ -44,8 +55,9 @@ val n_components : t -> int
 
 val bump_clock_bound : t -> Guard.clock -> int -> t
 (** [bump_clock_bound net x c] returns a network whose extrapolation
-    constant for [x] is at least [c] and which pins [x] as always
-    active (queries observe it); shares everything else. *)
+    constants for [x] (classical [k] and both LU floors) are at least
+    [c] and which pins [x] as always active (queries observe it);
+    shares everything else. *)
 
 val component_index : t -> string -> int
 (** @raise Not_found on unknown automaton name. *)

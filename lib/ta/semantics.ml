@@ -2,6 +2,7 @@ module Dbm = Ita_dbm.Dbm
 
 type state = { locs : int array; env : int array }
 type config = { state : state; zone : Dbm.t }
+type abstraction = ExtraM | ExtraLU
 
 type label =
   | Internal of { comp : int; edge : int }
@@ -11,7 +12,9 @@ type label =
       receivers : (int * int) list;
     }
 
-let state_equal s1 s2 = s1.locs = s2.locs && s1.env = s2.env
+(* The checker interns discrete states, so most live comparisons hit
+   the physical short-circuit. *)
+let state_equal s1 s2 = s1 == s2 || (s1.locs = s2.locs && s1.env = s2.env)
 let state_hash s = Hashtbl.hash (s.locs, s.env)
 
 let loc_kind (net : Network.t) st i =
@@ -95,29 +98,51 @@ let normalize_inactive (net : Network.t) st z =
     end
   done
 
+(* Extrapolate [z] with the abstraction in force.  Extra+LU resolves
+   the L/U constants against the current location vector: the bound
+   for a clock is the max over components of the location-indexed
+   static analysis, floored by the network-wide base (where query
+   constants live). *)
+let extrapolate (net : Network.t) abstraction st z =
+  match abstraction with
+  | ExtraM -> Dbm.extrapolate z net.Network.k
+  | ExtraLU ->
+      let n = Array.length net.Network.clock_names in
+      let l = Array.copy net.Network.lbase in
+      let u = Array.copy net.Network.ubase in
+      Array.iteri
+        (fun i li ->
+          let ll = net.Network.lloc.(i).(li) and uu = net.Network.uloc.(i).(li) in
+          for x = 1 to n - 1 do
+            if ll.(x) > l.(x) then l.(x) <- ll.(x);
+            if uu.(x) > u.(x) then u.(x) <- uu.(x)
+          done)
+        st.locs;
+      Dbm.extrapolate_lu z l u
+
 (* Delay-close [z] in discrete state [st]: up, then invariants, then
    extrapolation.  [z] must already satisfy the invariants. *)
-let delay_close net st z =
+let delay_close net abstraction st z =
   if delay_allowed net st then begin
     Dbm.up z;
     apply_invariants net st z
   end;
-  Dbm.extrapolate z net.Network.k;
+  extrapolate net abstraction st z;
   normalize_inactive net st z
 
-let initial (net : Network.t) =
+let initial ?(abstraction = ExtraLU) (net : Network.t) =
   let locs = Array.map (fun (a : Automaton.t) -> a.initial) net.automata in
   let env = Array.copy net.var_init in
   let st = { locs; env } in
   let z = Dbm.zero (Network.n_clocks net) in
   apply_invariants net st z;
-  delay_close net st z;
+  delay_close net abstraction st z;
   { state = st; zone = z }
 
 (* One discrete step: [parts] is the ordered list of participating
    (component, edge) pairs, the sender first.  Returns [None] when the
    step is disabled by clock guards or the target invariants. *)
-let fire (net : Network.t) c parts =
+let fire (net : Network.t) abstraction c parts =
   let z = Dbm.copy c.zone in
   (* clock guards are evaluated under the pre-update environment *)
   List.iter
@@ -139,12 +164,12 @@ let fire (net : Network.t) c parts =
     apply_invariants net st z;
     if Dbm.is_empty z then None
     else begin
-      delay_close net st z;
+      delay_close net abstraction st z;
       if Dbm.is_empty z then None else Some { state = st; zone = z }
     end
   end
 
-let successors (net : Network.t) c =
+let successors ?(abstraction = ExtraLU) (net : Network.t) c =
   let st = c.state in
   let n = Array.length net.automata in
   let committed = any_committed net st in
@@ -163,7 +188,7 @@ let successors (net : Network.t) c =
   let acc = ref [] in
   let emit label parts =
     if committed_ok parts then
-      match fire net c parts with
+      match fire net abstraction c parts with
       | Some c' -> acc := (label, c') :: !acc
       | None -> ()
   in

@@ -20,6 +20,15 @@ type state = { locs : int array; env : int array }
 
 type config = { state : state; zone : Dbm.t }
 
+type abstraction = ExtraM | ExtraLU
+    (** Which finite abstraction delay-closure applies to zones.
+        [ExtraM] is classical maximal-constant extrapolation with one
+        bound per clock ([Network.k]); [ExtraLU] is Extra+LU over the
+        static lower/upper bounds analysis ([Network.lloc]/[uloc] with
+        the [lbase]/[ubase] floors) — coarser, hence fewer symbolic
+        states, with identical reachability verdicts on the
+        diagonal-free automata this library builds. *)
+
 type label =
   | Internal of { comp : int; edge : int }
   | Sync of {
@@ -31,11 +40,14 @@ type label =
 val state_equal : state -> state -> bool
 val state_hash : state -> int
 
-val initial : Network.t -> config
+val initial : ?abstraction:abstraction -> Network.t -> config
+(** Default abstraction is [ExtraLU].  An exploration must use the
+    same abstraction for every configuration it builds. *)
 
 val delay_allowed : Network.t -> state -> bool
 
-val successors : Network.t -> config -> (label * config) list
+val successors :
+  ?abstraction:abstraction -> Network.t -> config -> (label * config) list
 (** All symbolic successors, in deterministic order.  Configurations
     with empty zones are filtered out.  @raise Update.Out_of_range on a
     variable-range violation (a modeling error). *)

@@ -141,6 +141,31 @@ let test_extrapolate () =
   Alcotest.(check bool) "still excludes small values" false
     (Dbm.satisfies z' (v 5 5))
 
+let test_extrapolate_lu () =
+  (* both clocks sit above all LU bounds: every difference constraint
+     is blurred and row 0 is refined down to the strict U bound *)
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 0 1 (Bound.le (-10));
+  (* the delay closure keeps x1 = x2, both >= 10 *)
+  let z' = Dbm.copy z in
+  Dbm.extrapolate_lu z' [| 0; 3; 3 |] [| 0; 3; 3 |];
+  Alcotest.(check bool) "superset of original" true (Dbm.subset z z');
+  Alcotest.(check bool) "x1 > 3, x2 > 3 kept" true
+    (Dbm.satisfies z' (v 4 5) && not (Dbm.satisfies z' (v 3 3)));
+  Alcotest.(check bool) "diagonal blurred: x2 < x1 now allowed" true
+    (Dbm.satisfies z' (v 9 4))
+
+let test_extrapolate_lu_keeps_low_bounds () =
+  (* constraints at or below the bounds survive exactly *)
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 5);
+  Dbm.constrain z 0 1 (Bound.le (-2));
+  let z' = Dbm.copy z in
+  Dbm.extrapolate_lu z' [| 0; 5; 5 |] [| 0; 5; 5 |];
+  Alcotest.(check bool) "unchanged below the bounds" true (Dbm.equal z z')
+
 let test_extrapolate_idempotent () =
   let z = Dbm.zero 2 in
   Dbm.up z;
@@ -269,6 +294,40 @@ let prop_extrapolate_widens =
       Dbm.extrapolate z' [| 0; 8; 8; 8 |];
       Dbm.subset z z')
 
+let gen_lu_bounds =
+  QCheck2.Gen.(
+    array_size (return (n_clocks + 1)) (int_range 0 8)
+    >|= fun a ->
+    a.(0) <- 0;
+    a)
+
+let prop_extrapolate_lu_widens =
+  QCheck2.Test.make ~count:500 ~name:"extrapolate_lu: superset of original"
+    QCheck2.Gen.(tup3 gen_zone gen_lu_bounds gen_lu_bounds)
+    (fun (z, l, u) ->
+      let z' = Dbm.copy z in
+      Dbm.extrapolate_lu z' l u;
+      Dbm.subset z z')
+
+let prop_extrapolate_lu_coarser_than_m =
+  QCheck2.Test.make ~count:500
+    ~name:"extrapolate_lu with L = U = k: superset of classical extrapolate"
+    QCheck2.Gen.(tup2 gen_zone gen_lu_bounds)
+    (fun (z, k) ->
+      let zm = Dbm.copy z and zlu = Dbm.copy z in
+      Dbm.extrapolate zm k;
+      Dbm.extrapolate_lu zlu k k;
+      Dbm.subset zm zlu)
+
+let prop_extrapolate_lu_idempotent =
+  QCheck2.Test.make ~count:500 ~name:"extrapolate_lu: idempotent"
+    QCheck2.Gen.(tup3 gen_zone gen_lu_bounds gen_lu_bounds)
+    (fun (z, l, u) ->
+      Dbm.extrapolate_lu z l u;
+      let z' = Dbm.copy z in
+      Dbm.extrapolate_lu z' l u;
+      Dbm.equal z z')
+
 let prop_sup_bounds_members =
   QCheck2.Test.make ~count:500 ~name:"sup bounds all members"
     QCheck2.Gen.(tup2 gen_zone gen_valuation)
@@ -348,6 +407,9 @@ let () =
         prop_intersect_membership;
         prop_subset_sound;
         prop_extrapolate_widens;
+        prop_extrapolate_lu_widens;
+        prop_extrapolate_lu_coarser_than_m;
+        prop_extrapolate_lu_idempotent;
         prop_sup_bounds_members;
         prop_canonical_triangle;
         prop_equal_hash;
@@ -374,6 +436,9 @@ let () =
           Alcotest.test_case "intersect" `Quick test_intersect;
           Alcotest.test_case "sup/inf" `Quick test_sup_inf;
           Alcotest.test_case "extrapolate" `Quick test_extrapolate;
+          Alcotest.test_case "extrapolate_lu" `Quick test_extrapolate_lu;
+          Alcotest.test_case "extrapolate_lu below bounds" `Quick
+            test_extrapolate_lu_keeps_low_bounds;
           Alcotest.test_case "extrapolate idempotent" `Quick
             test_extrapolate_idempotent;
         ] );

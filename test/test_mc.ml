@@ -28,13 +28,29 @@ let test_unreachable order () =
   | _ -> Alcotest.fail "y >= 7 should be unreachable at L2"
 
 let test_goal_zone () =
+  (* goal-zone exactness is an ExtraM property: Extra+LU may blur the
+     upper bound of a clock above its (query-bumped) L constant, which
+     is sound for verdicts but coarsens the returned zone *)
+  let net, _x, y = Models.two_phase () in
+  let q = Query.at net ~comp:"P" ~loc:"L2" in
+  let q = Query.with_guard q (guard_y_ge y 5) in
+  match Reach.reach ~abstraction:Reach.ExtraM net q with
+  | Reach.Reachable { goal_zone; _ } ->
+      Alcotest.(check bool) "goal zone bounded by 6" true
+        (Bound.compare (Ita_dbm.Dbm.sup goal_zone y) (Bound.le 6) <= 0)
+  | _ -> Alcotest.fail "should be reachable"
+
+let test_goal_zone_lu () =
+  (* under the default Extra+LU the verdict is identical and the goal
+     zone still contains every exact goal valuation ([y] up to 6),
+     though possibly more *)
   let net, _x, y = Models.two_phase () in
   let q = Query.at net ~comp:"P" ~loc:"L2" in
   let q = Query.with_guard q (guard_y_ge y 5) in
   match Reach.reach net q with
   | Reach.Reachable { goal_zone; _ } ->
-      Alcotest.(check bool) "goal zone bounded by 6" true
-        (Bound.compare (Ita_dbm.Dbm.sup goal_zone y) (Bound.le 6) <= 0)
+      Alcotest.(check bool) "goal zone covers the exact sup" true
+        (Bound.compare (Bound.le 6) (Ita_dbm.Dbm.sup goal_zone y) <= 0)
   | _ -> Alcotest.fail "should be reachable"
 
 let test_budget () =
@@ -364,6 +380,173 @@ let coverage_suite =
       prop_concrete_covered "generated-mini" (generated_mini ());
     ]
 
+(* ------------------------------------------------------------------ *)
+(* ExtraM vs Extra+LU differential testing: the coarser abstraction
+   must never change a reachability verdict or a WCRT value — ExtraM
+   is the oracle ExtraLU is checked against.                           *)
+(* ------------------------------------------------------------------ *)
+
+let verdict = function
+  | Reach.Reachable _ -> "reachable"
+  | Reach.Unreachable _ -> "unreachable"
+  | Reach.Budget_exhausted _ -> "budget"
+
+let sup_fingerprint ?(initial_ceiling = 64) ?(max_ceiling = 256) net ~at ~clock
+    abstraction =
+  (* tiny ceilings: an unbounded clock would otherwise enumerate one
+     zone per time unit up to the ceiling before extrapolation merges
+     them, and the fingerprint only has to be identical across
+     abstractions — model constants here are all well below 64 *)
+  match Wcrt.sup ~abstraction ~initial_ceiling ~max_ceiling net ~at ~clock with
+  | Wcrt.Sup { value; kind; _ } ->
+      Printf.sprintf "sup %d %s" value
+        (match kind with Wcrt.Attained -> "attained" | Wcrt.Approached -> "approached")
+  | Wcrt.Goal_unreachable _ -> "unreachable"
+  | Wcrt.Sup_budget_exhausted _ -> "budget"
+  | Wcrt.Sup_unbounded _ -> "unbounded"
+
+(* Every location of every component, every clock: the two abstractions
+   must report the same sup outcome. *)
+let check_net_wcrt_agrees name net =
+  let n_clocks = Array.length net.Network.clock_names in
+  Array.iteri
+    (fun _ (a : Automaton.t) ->
+      Array.iter
+        (fun (l : Automaton.location) ->
+          let at = Query.at net ~comp:a.Automaton.name ~loc:l.Automaton.loc_name in
+          for x = 1 to n_clocks - 1 do
+            let m = sup_fingerprint net ~at ~clock:x Reach.ExtraM in
+            let lu = sup_fingerprint net ~at ~clock:x Reach.ExtraLU in
+            Alcotest.(check string)
+              (Printf.sprintf "%s: sup %s at %s.%s" name
+                 net.Network.clock_names.(x) a.Automaton.name
+                 l.Automaton.loc_name)
+              m lu
+          done)
+        a.Automaton.locations)
+    net.Network.automata
+
+let test_wcrt_agrees_on_models () =
+  let nets =
+    [
+      ("two-phase", (let net, _, _ = Models.two_phase () in net));
+      ("urgent-gate", fst (Models.urgent_gate ()));
+      ("committed-gate", fst (Models.committed_gate ()));
+      ("handshake", fst (Models.handshake ()));
+      ("broadcast", Models.broadcast_pair ());
+    ]
+  in
+  List.iter (fun (name, net) -> check_net_wcrt_agrees name net) nets
+
+let test_verdicts_agree_on_examples () =
+  (* run every query shipped with the example models under both
+     abstractions *)
+  let module E = Ita_tafmt.Elaborate in
+  let model_path name =
+    let candidates =
+      [ "../examples/models/" ^ name; "examples/models/" ^ name ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> Alcotest.failf "%s not found" name
+  in
+  List.iter
+    (fun file ->
+      let { E.net; queries } = E.load_file (model_path file) in
+      List.iteri
+        (fun i q ->
+          match q with
+          | E.Reach_q q ->
+              let m = verdict (Reach.reach ~abstraction:Reach.ExtraM net q) in
+              let lu = verdict (Reach.reach ~abstraction:Reach.ExtraLU net q) in
+              Alcotest.(check string)
+                (Printf.sprintf "%s query %d" file i)
+                m lu
+          | E.Sup_q { clock; at } ->
+              let m = sup_fingerprint net ~at ~clock Reach.ExtraM in
+              let lu = sup_fingerprint net ~at ~clock Reach.ExtraLU in
+              Alcotest.(check string)
+                (Printf.sprintf "%s sup query %d" file i)
+                m lu
+          | E.Deadlock_q -> ())
+        queries)
+    [ "fischer.ta"; "train_gate.ta"; "two_phase.ta" ]
+
+(* Random diagonal-free automata: two clocks, a handful of locations,
+   random guards / invariants / resets.  Upper-bound invariants only,
+   so the initial valuation always satisfies them.                     *)
+let gen_random_net =
+  let open QCheck2.Gen in
+  let gen_atom clock =
+    let* rel = oneofl [ Guard.Lt; Guard.Le; Guard.Ge; Guard.Gt; Guard.Eq ] in
+    let* c = int_range 0 8 in
+    return (Guard.clock_rel clock rel (Expr.Int c))
+  in
+  let gen_guard =
+    let* use_x = bool and* use_y = bool in
+    let* gx = gen_atom 1 and* gy = gen_atom 2 in
+    return
+      (Guard.conj
+         (if use_x then gx else Guard.tt)
+         (if use_y then gy else Guard.tt))
+  in
+  let* nl = int_range 2 4 in
+  let* invariants =
+    list_repeat nl
+      (let* inv = bool in
+       let* c = int_range 1 8 in
+       return (if inv then Guard.clock_le 1 c else Guard.tt))
+  in
+  let* n_edges = int_range nl (2 * nl) in
+  let* edges =
+    list_repeat n_edges
+      (let* src = int_range 0 (nl - 1) and* dst = int_range 0 (nl - 1) in
+       let* guard = gen_guard in
+       let* reset_x = bool and* reset_y = bool in
+       let update =
+         List.concat
+           [
+             (if reset_x then Update.reset 1 else []);
+             (if reset_y then Update.reset 2 else []);
+           ]
+       in
+       return (Models.edge src dst ~guard ~update))
+  in
+  let b = Network.Builder.create () in
+  let _x = Network.Builder.clock b "x" in
+  let _y = Network.Builder.clock b "y" in
+  let locations =
+    List.mapi
+      (fun i inv -> Models.loc (Printf.sprintf "L%d" i) ~invariant:inv)
+      invariants
+  in
+  Network.Builder.add_automaton b
+    (Automaton.make ~name:"P" ~locations ~edges ~initial:0);
+  return (Network.Builder.build b, nl)
+
+let test_random_nets_agree =
+  QCheck2.Test.make ~count:60
+    ~name:"ExtraM and Extra+LU verdicts agree on random automata"
+    QCheck2.Gen.(pair gen_random_net (int_range 0 10))
+    (fun ((net, nl), c) ->
+      (* reachability of every location with y >= c, plus the sup of
+         both clocks at every location, must be abstraction-invariant *)
+      let ok = ref true in
+      for l = 0 to nl - 1 do
+        let at = Query.at net ~comp:"P" ~loc:(Printf.sprintf "L%d" l) in
+        let q = Query.with_guard at (Guard.clock_ge 2 c) in
+        let m = verdict (Reach.reach ~abstraction:Reach.ExtraM net q) in
+        let lu = verdict (Reach.reach ~abstraction:Reach.ExtraLU net q) in
+        if m <> lu then ok := false;
+        for x = 1 to 2 do
+          if
+            sup_fingerprint net ~at ~clock:x Reach.ExtraM
+            <> sup_fingerprint net ~at ~clock:x Reach.ExtraLU
+          then ok := false
+        done
+      done;
+      !ok)
+
 let () =
   Alcotest.run "mc"
     [
@@ -378,6 +561,7 @@ let () =
           Alcotest.test_case "unreachable (dfs)" `Quick
             (test_unreachable Reach.Dfs);
           Alcotest.test_case "goal zone" `Quick test_goal_zone;
+          Alcotest.test_case "goal zone (extralu)" `Quick test_goal_zone_lu;
           Alcotest.test_case "budget" `Quick test_budget;
           Alcotest.test_case "orders agree" `Quick test_orders_agree;
           Alcotest.test_case "witness structure" `Quick test_witness_structure;
@@ -405,4 +589,12 @@ let () =
           Alcotest.test_case "committed" `Quick test_committed_reach;
         ] );
       ("concrete-coverage", coverage_suite);
+      ( "abstraction-differential",
+        [
+          Alcotest.test_case "wcrt agrees on test models" `Quick
+            test_wcrt_agrees_on_models;
+          Alcotest.test_case "verdicts agree on example files" `Quick
+            test_verdicts_agree_on_examples;
+          QCheck_alcotest.to_alcotest test_random_nets_agree;
+        ] );
     ]
