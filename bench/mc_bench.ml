@@ -9,6 +9,11 @@
    The two abstractions must report identical WCRT results on every
    cell — Extra+LU only wins by exploring fewer symbolic states.
 
+   Each cell additionally carries a reduction-off run (Extra+LU with
+   the active-clock reduction disabled): the reduction must preserve
+   every result verbatim and never explore more states than the
+   unreduced engine.
+
    Run with: dune exec bench/mc_bench.exe            (full suite)
              BENCH_QUICK=1 dune exec bench/mc_bench.exe   (CI smoke)
    Optional argv.(1): output path (default BENCH_mc.json). *)
@@ -38,7 +43,13 @@ let run_of_stats (s : Reach.stats) result =
     result;
   }
 
-type cell = { name : string; kind : string; extram : run; extralu : run }
+type cell = {
+  name : string;
+  kind : string;
+  extram : run;
+  extralu : run;
+  extralu_nored : run;  (* Extra+LU with ~reduction:None *)
+}
 
 (* ------------------------------------------------------------------ *)
 (* Radio-navigation cells: the paper's WCRT sup-queries               *)
@@ -50,9 +61,9 @@ let radionav_cell (row : R.row) column =
   let req = Scenario.requirement s row.R.requirement in
   let gen = Gen.generate ~measure:(row.R.scenario, req) sys in
   let obs = Option.get gen.Gen.observer in
-  let sup abstraction =
+  let sup ?reduction abstraction =
     match
-      Wcrt.sup ~abstraction gen.Gen.net ~at:obs.Gen.seen
+      Wcrt.sup ~abstraction ?reduction gen.Gen.net ~at:obs.Gen.seen
         ~clock:obs.Gen.obs_clock
     with
     | Wcrt.Sup { value; stats; _ } ->
@@ -71,6 +82,7 @@ let radionav_cell (row : R.row) column =
     kind = "radionav";
     extram = sup Reach.ExtraM;
     extralu = sup Reach.ExtraLU;
+    extralu_nored = sup ~reduction:Reach.None Reach.ExtraLU;
   }
 
 let radionav_cells () =
@@ -155,8 +167,8 @@ let sporadic_family n =
 
 let sporadic_cell n =
   let net = sporadic_family n in
-  let explore abstraction =
-    match Reach.explore ~abstraction net ~on_store:(fun _ -> ()) with
+  let explore ?reduction abstraction =
+    match Reach.explore ~abstraction ?reduction net ~on_store:(fun _ -> ()) with
     | `Complete stats -> run_of_stats stats "complete"
     | `Budget_exhausted stats -> run_of_stats stats "budget"
   in
@@ -165,6 +177,7 @@ let sporadic_cell n =
     kind = "synthetic";
     extram = explore Reach.ExtraM;
     extralu = explore Reach.ExtraLU;
+    extralu_nored = explore ~reduction:Reach.None Reach.ExtraLU;
   }
 
 let ring_cells () =
@@ -185,14 +198,24 @@ let json_cell buf c =
     if c.extram.explored = 0 then 1.0
     else float_of_int c.extralu.explored /. float_of_int c.extram.explored
   in
+  let red_ratio =
+    if c.extralu_nored.explored = 0 then 1.0
+    else
+      float_of_int c.extralu.explored /. float_of_int c.extralu_nored.explored
+  in
   Buffer.add_string buf
-    (Printf.sprintf {|    {"name": %S, "kind": %S, "results_match": %b, "explored_ratio": %.4f, "extram": |}
+    (Printf.sprintf
+       {|    {"name": %S, "kind": %S, "results_match": %b, "explored_ratio": %.4f, "reduction_results_match": %b, "reduction_explored_ratio": %.4f, "extram": |}
        c.name c.kind
        (c.extram.result = c.extralu.result)
-       ratio);
+       ratio
+       (c.extralu.result = c.extralu_nored.result)
+       red_ratio);
   json_run buf c.extram;
   Buffer.add_string buf {|, "extralu": |};
   json_run buf c.extralu;
+  Buffer.add_string buf {|, "extralu_no_reduction": |};
+  json_run buf c.extralu_nored;
   Buffer.add_string buf "}"
 
 let () =
@@ -201,10 +224,17 @@ let () =
   let mismatches =
     List.filter (fun c -> c.extram.result <> c.extralu.result) cells
   in
+  let red_mismatches =
+    List.filter (fun c -> c.extralu.result <> c.extralu_nored.result) cells
+  in
+  let red_regressions =
+    List.filter (fun c -> c.extralu.explored > c.extralu_nored.explored) cells
+  in
   List.iter
     (fun c ->
-      Printf.printf "%-40s extram %7d  extralu %7d  ratio %.3f  [%s]\n%!"
-        c.name c.extram.explored c.extralu.explored
+      Printf.printf
+        "%-40s extram %7d  extralu %7d  no-red %7d  ratio %.3f  [%s]\n%!"
+        c.name c.extram.explored c.extralu.explored c.extralu_nored.explored
         (if c.extram.explored = 0 then 1.0
          else float_of_int c.extralu.explored /. float_of_int c.extram.explored)
         (if c.extram.result = c.extralu.result then c.extram.result
@@ -219,6 +249,12 @@ let () =
   in
   let po_ratio = ratio_of po_cells in
   Printf.printf "radionav explored ratio (extralu / extram): %.3f\n%!" po_ratio;
+  let red_ratio =
+    let off = total cells (fun c -> c.extralu_nored.explored) in
+    let on = total cells (fun c -> c.extralu.explored) in
+    if off = 0 then 1.0 else float_of_int on /. float_of_int off
+  in
+  Printf.printf "reduction explored ratio (active / none): %.3f\n%!" red_ratio;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -226,6 +262,9 @@ let () =
   Buffer.add_string buf "\n";
   Buffer.add_string buf
     (Printf.sprintf {|  "radionav_explored_ratio": %.4f,|} po_ratio);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Printf.sprintf {|  "reduction_explored_ratio": %.4f,|} red_ratio);
   Buffer.add_string buf "\n  \"cells\": [\n";
   List.iteri
     (fun i c ->
@@ -240,5 +279,17 @@ let () =
   if mismatches <> [] then begin
     Printf.eprintf "ERROR: %d cells disagree between abstractions\n"
       (List.length mismatches);
+    exit 1
+  end;
+  if red_mismatches <> [] then begin
+    Printf.eprintf
+      "ERROR: %d cells disagree between reduction on and off\n"
+      (List.length red_mismatches);
+    exit 1
+  end;
+  if red_regressions <> [] then begin
+    Printf.eprintf
+      "ERROR: %d cells explore MORE states with the reduction on\n"
+      (List.length red_regressions);
     exit 1
   end

@@ -554,6 +554,115 @@ let explore_cmd =
       $ sim_runs $ sim_horizon $ inject_crash)
 
 (* ------------------------------------------------------------------ *)
+(* lint: static analysis of the generated networks                     *)
+(* ------------------------------------------------------------------ *)
+
+module Lint = Ita_analysis.Lint
+module Diag = Ita_analysis.Diagnostic
+
+let severity_conv =
+  let parse = function
+    | "info" -> Ok Diag.Info
+    | "warning" -> Ok Diag.Warning
+    | "error" -> Ok Diag.Error
+    | s -> Error (`Msg (Printf.sprintf "unknown severity %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Diag.severity_name s) in
+  Arg.conv (parse, print)
+
+let combo_name = function R.Cv_tmc -> "cv" | R.Al_tmc -> "al"
+
+(* Lint every generated network: for each combination x environment
+   column, the plain network and each Table-1 measured variant (the
+   measuring automaton and observer clock included).  Findings at or
+   above the threshold make the exit code nonzero. *)
+let run_lint combos columns fail_on verbose =
+  let combos = if combos = [] then [ R.Cv_tmc; R.Al_tmc ] else combos in
+  let columns =
+    if columns = [] then [ R.Po; R.Pno; R.Sp; R.Pj; R.Bur ] else columns
+  in
+  let checked = ref 0 and flagged = ref 0 in
+  let lint_net label ?observer net =
+    incr checked;
+    let observed_clocks =
+      match observer with
+      | Some o -> [ o.Gen.obs_clock ]
+      | None -> []
+    in
+    let findings = Lint.run ~observed_clocks net in
+    if findings <> [] && (verbose || Diag.worst findings <> Some Diag.Info)
+    then begin
+      Format.printf "-- %s --@." label;
+      Lint.pp_report net Format.std_formatter findings
+    end;
+    List.iter
+      (fun (d : Diag.t) ->
+        if Diag.compare_severity d.Diag.severity fail_on >= 0 then
+          incr flagged)
+      findings
+  in
+  List.iter
+    (fun combo ->
+      List.iter
+        (fun column ->
+          let sys = R.system combo column in
+          let label suffix =
+            Printf.sprintf "%s/%s%s" (combo_name combo)
+              (R.column_name column) suffix
+          in
+          lint_net (label "") (Gen.generate sys).Gen.net;
+          List.iter
+            (fun (row : R.row) ->
+              if row.R.combo = combo then begin
+                let s = Sysmodel.scenario sys row.R.scenario in
+                let req = Scenario.requirement s row.R.requirement in
+                let gen = Gen.generate ~measure:(row.R.scenario, req) sys in
+                lint_net
+                  (label
+                     (Printf.sprintf " measuring %s/%s" row.R.scenario
+                        row.R.requirement))
+                  ?observer:gen.Gen.observer gen.Gen.net
+              end)
+            R.table1_rows)
+        columns)
+    combos;
+  Format.printf "linted %d generated networks: %d finding%s at %s or above@."
+    !checked !flagged
+    (if !flagged = 1 then "" else "s")
+    (Diag.severity_name fail_on);
+  if !flagged > 0 then exit 1
+
+let lint_cmd =
+  let combos =
+    Arg.(
+      value
+      & opt (list combo_conv) []
+      & info [ "combos" ] ~doc:"subset of cv,al (default both)")
+  in
+  let columns =
+    Arg.(
+      value
+      & opt (list column_conv) []
+      & info [ "columns" ] ~doc:"subset of po,pno,sp,pj,bur (default all)")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt severity_conv Diag.Error
+      & info [ "fail-on" ]
+          ~doc:"lowest severity that makes the exit code nonzero")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"also print reports that are info-only")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"run the static analyzer over every generated network")
+    Term.(const run_lint $ combos $ columns $ fail_on $ verbose)
+
+(* ------------------------------------------------------------------ *)
 (* ablation: scheduler policies                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -611,5 +720,6 @@ let () =
             show_model_cmd;
             sweep_cmd;
             explore_cmd;
+            lint_cmd;
             ablation_cmd;
           ]))

@@ -25,8 +25,8 @@ let order_conv =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ta")
 
-let load path =
-  try Ok (E.load_file path) with
+let load ?validate path =
+  try Ok (E.load_file ?validate path) with
   | E.Elab_error m -> Error (Printf.sprintf "%s: %s" path m)
   | Ita_tafmt.Parser.Parse_error { line; message } ->
       Error (Printf.sprintf "%s:%d: %s" path line message)
@@ -40,7 +40,7 @@ let run_check path order budget trace =
   | Error m ->
       prerr_endline m;
       1
-  | Ok { E.net; queries } ->
+  | Ok { E.net; queries; _ } ->
       if queries = [] then begin
         print_endline "no queries in file";
         0
@@ -147,9 +147,91 @@ let show_cmd =
     (Cmd.info "show" ~doc:"print the parsed network")
     Term.(const run_show $ file_arg)
 
+(* lint: run the static analyzer on the file's network, mapping each
+   finding back to its declaration's source position.  The file is
+   elaborated without the builder's urgent/broadcast guard checks so
+   those turn into diagnostics instead of a hard failure. *)
+
+module D = Ita_analysis.Diagnostic
+module Lint = Ita_analysis.Lint
+
+let severity_conv =
+  let parse = function
+    | "info" -> Ok D.Info
+    | "warning" -> Ok D.Warning
+    | "error" -> Ok D.Error
+    | s -> Error (`Msg (Printf.sprintf "unknown severity %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (D.severity_name s) in
+  Arg.conv (parse, print)
+
+(* Clocks and variables the file's queries mention are observed from
+   outside the model and must not count as unused/dead. *)
+let observed_of_queries queries =
+  let clocks = ref [] and vars = ref [] in
+  let add_guard (g : Ita_ta.Guard.t) =
+    List.iter
+      (fun (a : Ita_ta.Guard.atom) ->
+        clocks := a.Ita_ta.Guard.clock :: !clocks;
+        vars := Ita_ta.Expr.ivars a.Ita_ta.Guard.bound @ !vars)
+      g.Ita_ta.Guard.clocks;
+    vars := Ita_ta.Expr.bvars g.Ita_ta.Guard.data @ !vars
+  in
+  List.iter
+    (function
+      | E.Deadlock_q -> ()
+      | E.Reach_q q -> add_guard q.Ita_mc.Query.guard
+      | E.Sup_q { clock; at } ->
+          clocks := clock :: !clocks;
+          add_guard at.Ita_mc.Query.guard)
+    queries;
+  (!clocks, !vars)
+
+let run_lint path fail_on =
+  match load ~validate:false path with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok { E.net; queries; srcmap } ->
+      let observed_clocks, observed_vars = observed_of_queries queries in
+      let findings = Lint.run ~observed_clocks ~observed_vars net in
+      let pos_str { Ita_tafmt.Ast.line; col } =
+        Printf.sprintf "%s:%d:%d" path line col
+      in
+      let resolve = function
+        | D.Automaton_site i -> Some (pos_str srcmap.E.proc_pos.(i))
+        | D.Location_site { comp; loc } ->
+            Some (pos_str srcmap.E.loc_pos.(comp).(loc))
+        | D.Edge_site { comp; edge } ->
+            Some (pos_str srcmap.E.edge_pos.(comp).(edge))
+        | D.Network_site | D.Clock_site _ | D.Var_site _ | D.Channel_site _ ->
+            None
+      in
+      Lint.pp_report ~resolve net Format.std_formatter findings;
+      if
+        List.exists
+          (fun (d : D.t) -> D.compare_severity d.D.severity fail_on >= 0)
+          findings
+      then 1
+      else 0
+
+let lint_cmd =
+  let fail_on =
+    Arg.(
+      value
+      & opt severity_conv D.Error
+      & info [ "fail-on" ]
+          ~doc:"lowest severity that makes the exit code nonzero \
+                (info/warning/error)")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"static well-formedness analysis of a .ta file's network")
+    Term.(const run_lint $ file_arg $ fail_on)
+
 let () =
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "tamc" ~doc:"timed-automata model checker for .ta files")
-          [ check_cmd; show_cmd ]))
+          [ check_cmd; show_cmd; lint_cmd ]))

@@ -1,0 +1,115 @@
+open Ita_ta
+
+type severity = Info | Warning | Error
+
+type site =
+  | Network_site
+  | Clock_site of Guard.clock
+  | Var_site of Expr.var
+  | Channel_site of Channel.id
+  | Automaton_site of int
+  | Location_site of { comp : int; loc : int }
+  | Edge_site of { comp : int; edge : int }
+
+type pass =
+  | Unused_clock
+  | Never_reset_clock
+  | Dead_var
+  | Range_overflow
+  | Unreachable_location
+  | Invariant_misuse
+  | Urgent_clock_guard
+  | Channel_peer
+  | Committed_cycle
+  | Zeno_cycle
+
+type t = {
+  pass : pass;
+  severity : severity;
+  site : site;
+  message : string;
+  fix : string option;
+}
+
+let pass_name = function
+  | Unused_clock -> "unused-clock"
+  | Never_reset_clock -> "never-reset-clock"
+  | Dead_var -> "dead-var"
+  | Range_overflow -> "range-overflow"
+  | Unreachable_location -> "unreachable-location"
+  | Invariant_misuse -> "invariant-misuse"
+  | Urgent_clock_guard -> "urgent-clock-guard"
+  | Channel_peer -> "channel-peer"
+  | Committed_cycle -> "committed-cycle"
+  | Zeno_cycle -> "zeno-cycle"
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+let worst = function
+  | [] -> None
+  | ds ->
+      Some
+        (List.fold_left
+           (fun acc d ->
+             if compare_severity d.severity acc > 0 then d.severity else acc)
+           Info ds)
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let by_pass p ds = List.filter (fun d -> d.pass = p) ds
+
+(* Component-major order so a report reads top to bottom through the
+   model; the leading tag groups network-level findings first. *)
+let site_key = function
+  | Network_site -> (0, 0, 0, 0)
+  | Clock_site x -> (1, x, 0, 0)
+  | Var_site v -> (2, v, 0, 0)
+  | Channel_site c -> (3, c, 0, 0)
+  | Automaton_site i -> (4, i, 0, 0)
+  | Location_site { comp; loc } -> (5, comp, 0, loc)
+  | Edge_site { comp; edge } -> (5, comp, 1, edge)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      let c = compare_severity b.severity a.severity in
+      if c <> 0 then c else compare (site_key a.site) (site_key b.site))
+    ds
+
+let pp_site (net : Network.t) ppf = function
+  | Network_site -> Format.fprintf ppf "network"
+  | Clock_site x -> Format.fprintf ppf "clock %s" net.Network.clock_names.(x)
+  | Var_site v -> Format.fprintf ppf "var %s" net.Network.var_names.(v)
+  | Channel_site c ->
+      Format.fprintf ppf "chan %s" net.Network.channels.(c).Channel.name
+  | Automaton_site i ->
+      Format.fprintf ppf "%s" net.Network.automata.(i).Automaton.name
+  | Location_site { comp; loc } ->
+      let a = net.Network.automata.(comp) in
+      Format.fprintf ppf "%s.%s" a.Automaton.name
+        (Automaton.location a loc).Automaton.loc_name
+  | Edge_site { comp; edge } ->
+      let a = net.Network.automata.(comp) in
+      let e = Automaton.edge a edge in
+      Format.fprintf ppf "%s: %s -> %s" a.Automaton.name
+        (Automaton.location a e.Automaton.src).Automaton.loc_name
+        (Automaton.location a e.Automaton.dst).Automaton.loc_name
+
+let pp ?resolve (net : Network.t) ppf d =
+  (match resolve with
+  | Some f -> (
+      match f d.site with
+      | Some pos -> Format.fprintf ppf "%s: " pos
+      | None -> ())
+  | None -> ());
+  Format.fprintf ppf "%s[%s] %a: %s"
+    (severity_name d.severity)
+    (pass_name d.pass) (pp_site net) d.site d.message;
+  match d.fix with
+  | Some f -> Format.fprintf ppf " (fix: %s)" f
+  | None -> ()

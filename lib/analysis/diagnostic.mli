@@ -1,0 +1,74 @@
+(** Structured findings of the static analyzer.
+
+    A diagnostic names the pass that produced it, a severity, the
+    precise model site it anchors to (clock, variable, channel,
+    automaton, location or edge) and a human message with an optional
+    suggested fix.  Sites are index-based so that a caller holding
+    richer information — the [.ta] elaborator keeps source positions —
+    can resolve them to [file:line:col] through the [resolve] hook of
+    {!pp}. *)
+
+open Ita_ta
+
+type severity = Info | Warning | Error
+
+type site =
+  | Network_site
+  | Clock_site of Guard.clock
+  | Var_site of Expr.var
+  | Channel_site of Channel.id
+  | Automaton_site of int
+  | Location_site of { comp : int; loc : int }
+  | Edge_site of { comp : int; edge : int }
+
+(** One lint pass; {!Lint.run} runs them all. *)
+type pass =
+  | Unused_clock  (** clock never tested by any guard or invariant *)
+  | Never_reset_clock  (** clock tested but reset on no edge *)
+  | Dead_var  (** integer variable never read *)
+  | Range_overflow  (** update can leave a declared variable range *)
+  | Unreachable_location  (** no edge path from the initial location *)
+  | Invariant_misuse  (** lower-bound / equality / data invariants *)
+  | Urgent_clock_guard  (** clock guard on an urgent or broadcast sync *)
+  | Channel_peer  (** sends without receivers and the like *)
+  | Committed_cycle  (** discrete livelock through committed locations *)
+  | Zeno_cycle  (** cycle resetting no clock, crossing no lower bound *)
+
+type t = {
+  pass : pass;
+  severity : severity;
+  site : site;
+  message : string;
+  fix : string option;
+}
+
+val pass_name : pass -> string
+(** Kebab-case, as printed inside the [severity[pass-name]] tag. *)
+
+val severity_name : severity -> string
+
+val compare_severity : severity -> severity -> int
+(** [Info < Warning < Error]. *)
+
+val worst : t list -> severity option
+(** The highest severity present; [None] on a clean report. *)
+
+val count : severity -> t list -> int
+
+val by_pass : pass -> t list -> t list
+
+val sort : t list -> t list
+(** Stable order: severity descending, then site (component-major). *)
+
+val pp_site : Network.t -> Format.formatter -> site -> unit
+(** ["BUS"], ["BUS.claim"], ["BUS: claim -> run"], ["clock x"], ... *)
+
+val pp :
+  ?resolve:(site -> string option) ->
+  Network.t ->
+  Format.formatter ->
+  t ->
+  unit
+(** [error[urgent-clock-guard] BUS: claim -> run: ...message...
+    (fix: ...)], prefixed by [resolve site] (e.g. [model.ta:12:3:])
+    when the hook produces a position. *)

@@ -1,0 +1,52 @@
+(** Well-formedness diagnostics over a network of timed automata.
+
+    [run] executes every pass and returns the findings sorted by
+    severity.  The passes are purely syntactic / static — no zone graph
+    is built — so they are cheap enough to run on every design-space
+    candidate before the checker:
+
+    - [unused-clock]: a clock no guard or invariant ever tests;
+    - [never-reset-clock]: a clock that is tested but never reset
+      (measures absolute time; often intentional, hence [Info]);
+    - [dead-var]: an integer variable that is never read;
+    - [range-overflow]: an update whose interval enclosure can leave the
+      variable's declared range (would raise [Update.Out_of_range] at
+      exploration time), or a clock reset that can be negative;
+    - [unreachable-location]: no edge path from the initial location;
+    - [invariant-misuse]: lower-bound or equality invariants, and data
+      predicates in invariants (ignored by the symbolic semantics);
+    - [urgent-clock-guard]: clock guards on urgent-channel edges or
+      broadcast receivers (rejected by {!Network.Builder.build} — only
+      networks built with [~validate:false] can reach this pass);
+    - [channel-peer]: binary channels with senders but no receivers (or
+      vice versa), channels never used, binary channels whose only
+      sender/receiver pairs live in one component.  A broadcast channel
+      with senders and no receivers is silent: that is the paper's
+      [hurry!] greediness idiom;
+    - [committed-cycle]: a cycle entirely through committed locations —
+      the checker can livelock on zero-time discrete steps;
+    - [zeno-cycle]: a structural cycle that resets no clock which is
+      also bounded from below on the cycle, so runs may converge in
+      time.  Downgraded to [Info] when the cycle synchronizes (the
+      pacing may come from the partner, invisible per-component). *)
+
+open Ita_ta
+
+val run :
+  ?observed_clocks:Guard.clock list ->
+  ?observed_vars:Expr.var list ->
+  Network.t ->
+  Diagnostic.t list
+(** [observed_clocks] / [observed_vars] are referenced from outside the
+    model (reachability queries, WCRT sup measurements) and are exempt
+    from the unused/never-reset/dead passes, as are clocks already
+    pinned by {!Network.bump_clock_bound}. *)
+
+val pp_report :
+  ?resolve:(Diagnostic.site -> string option) ->
+  Network.t ->
+  Format.formatter ->
+  Diagnostic.t list ->
+  unit
+(** One finding per line (sorted) followed by an
+    [N errors, N warnings, N info] summary line. *)

@@ -38,6 +38,7 @@ val wcrt :
   ?method_:method_ ->
   ?order:Reach.order ->
   ?abstraction:Reach.abstraction ->
+  ?reduction:Reach.reduction ->
   Sysmodel.t ->
   scenario:string ->
   requirement:string ->
@@ -64,6 +65,7 @@ val check_budgets :
   ?method_:method_ ->
   ?order:Ita_mc.Reach.order ->
   ?abstraction:Reach.abstraction ->
+  ?reduction:Reach.reduction ->
   Sysmodel.t ->
   budget_report list
 (** The paper's framing — "does the product work, given a set of hard

@@ -724,7 +724,17 @@ let generate ?measure (sys : Sysmodel.t) =
                 nonpreemptive_automaton ~policy:Resource.Priority_nonpreemptive
                   ~x jobs
               else begin
-                let y = Network.Builder.clock b (r.Resource.name ^ "_y") in
+                (* the preemption clock only appears in pre_* locations,
+                   which need a high band to preempt with; without one,
+                   declaring it would leave a dead clock in the network *)
+                let has_high =
+                  List.exists (fun j -> j.band = Scenario.High) jobs
+                in
+                let y =
+                  if has_high then
+                    Network.Builder.clock b (r.Resource.name ^ "_y")
+                  else x
+                in
                 let d_low_max =
                   List.fold_left
                     (fun acc j ->

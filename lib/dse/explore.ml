@@ -1,6 +1,10 @@
 open Ita_core
 
-type status = Done of Job.result | Crashed of string | Timed_out of float
+type status =
+  | Done of Job.result
+  | Crashed of string
+  | Timed_out of float
+  | Rejected of string
 type cell = { technique : Job.technique; status : status; cached : bool }
 type row = { candidate : Space.candidate; cells : cell list }
 
@@ -15,6 +19,7 @@ type report = {
   cache_misses : int;
   executed : int;
   failed : int;
+  rejected : int;
   workers : int;
   wall_s : float;
 }
@@ -33,6 +38,33 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
   in
   let t0 = Unix.gettimeofday () in
   let cands = Space.candidates space in
+  (* lint pre-flight: a candidate whose generated network carries an
+     error-severity finding would only waste worker time (or worse,
+     crash mid-exploration on an out-of-range update), so screen it
+     out before any job is scheduled *)
+  let rejection (c : Space.candidate) =
+    match Gen.generate c.Space.sys with
+    | exception e -> Some (Printexc.to_string e)
+    | gen -> (
+        match
+          List.filter
+            (fun (d : Ita_analysis.Diagnostic.t) ->
+              d.Ita_analysis.Diagnostic.severity = Ita_analysis.Diagnostic.Error)
+            (Ita_analysis.Lint.run gen.Gen.net)
+        with
+        | [] -> None
+        | d :: _ ->
+            Some
+              (Format.asprintf "%a" (Ita_analysis.Diagnostic.pp gen.Gen.net) d))
+  in
+  let rejections =
+    List.filter_map
+      (fun (c : Space.candidate) ->
+        Option.map (fun m -> (c.Space.index, m)) (rejection c))
+      cands
+  in
+  let rejected_msg (c : Space.candidate) = List.assoc_opt c.Space.index rejections in
+  let runnable = List.filter (fun c -> rejected_msg c = None) cands in
   (* flat job list, candidate-major; probe the cache up front *)
   let entries =
     List.concat_map
@@ -55,7 +87,7 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
             in
             (c, tech, spec, hit))
           techniques)
-      cands
+      runnable
   in
   let entries =
     List.mapi (fun flat (c, tech, spec, hit) -> (flat, c, tech, spec, hit))
@@ -97,20 +129,26 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
       Hashtbl.replace by_flat flat status)
     to_run;
   let cells_of (c : Space.candidate) =
-    List.filter_map
-      (fun (flat, c', tech, _, hit) ->
-        if c'.Space.index <> c.Space.index then None
-        else
-          Some
-            (match hit with
-            | Some r -> { technique = tech; status = Done r; cached = true }
-            | None ->
-                {
-                  technique = tech;
-                  status = Hashtbl.find by_flat flat;
-                  cached = false;
-                }))
-      entries
+    match rejected_msg c with
+    | Some msg ->
+        List.map
+          (fun tech -> { technique = tech; status = Rejected msg; cached = false })
+          techniques
+    | None ->
+        List.filter_map
+          (fun (flat, c', tech, _, hit) ->
+            if c'.Space.index <> c.Space.index then None
+            else
+              Some
+                (match hit with
+                | Some r -> { technique = tech; status = Done r; cached = true }
+                | None ->
+                    {
+                      technique = tech;
+                      status = Hashtbl.find by_flat flat;
+                      cached = false;
+                    }))
+          entries
   in
   let rows = List.map (fun c -> { candidate = c; cells = cells_of c }) cands in
   let failed =
@@ -122,7 +160,7 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
                (fun cell ->
                  match cell.status with
                  | Crashed _ | Timed_out _ -> true
-                 | Done _ -> false)
+                 | Done _ | Rejected _ -> false)
                r.cells))
       0 rows
   in
@@ -138,6 +176,7 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
     cache_misses = (if cache = None then 0 else List.length to_run);
     executed = List.length to_run;
     failed;
+    rejected = List.length rejections;
     workers;
     wall_s = Unix.gettimeofday () -. t0;
   }
@@ -225,6 +264,10 @@ let pp ppf report =
      failed) on %d workers in %.2fs"
     n_cands n_tech (n_cands * n_tech) report.cache_hits report.executed
     report.failed report.workers report.wall_s;
+  if report.rejected > 0 then
+    Format.fprintf ppf "@,%d candidate%s rejected by the lint pre-flight"
+      report.rejected
+      (if report.rejected = 1 then "" else "s");
   if report.executed > 0 && report.wall_s > 0.0 then
     Format.fprintf ppf " (%.2f jobs/s)"
       (float_of_int report.executed /. report.wall_s);
@@ -248,6 +291,7 @@ let pp ppf report =
                   (if cell.cached then "*" else "")
             | Crashed _ -> "crash"
             | Timed_out _ -> "timeout"
+            | Rejected _ -> "rejected"
           in
           Format.fprintf ppf " %12s" text)
         row.cells;

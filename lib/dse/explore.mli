@@ -11,6 +11,10 @@ type status =
   | Done of Job.result
   | Crashed of string
   | Timed_out of float
+  | Rejected of string
+      (** the candidate's generated network failed the static analyzer
+          with an error-severity finding (the message), so no analysis
+          job was spent on it *)
 
 type cell = { technique : Job.technique; status : status; cached : bool }
 type row = { candidate : Space.candidate; cells : cell list }
@@ -26,6 +30,7 @@ type report = {
   cache_misses : int;  (** lookups that missed (0 without a cache) *)
   executed : int;  (** jobs actually run in workers *)
   failed : int;  (** crashed + timed out *)
+  rejected : int;  (** candidates screened out by the lint pre-flight *)
   workers : int;
   wall_s : float;
 }

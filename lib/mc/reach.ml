@@ -23,6 +23,7 @@ let combine a b =
   }
 
 type abstraction = Semantics.abstraction = ExtraM | ExtraLU
+type reduction = Semantics.reduction = None | Active
 
 type stats = {
   explored : int;
@@ -147,8 +148,8 @@ type engine_result =
    configuration to its non-empty goal zone when it hits the target;
    goal checking happens at state creation time so that counterexamples
    are found as early as possible (UPPAAL does the same). *)
-let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU) net
-    ~goal ~on_store () : engine_result =
+let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
+    ?(reduction = Active) net ~goal ~on_store () : engine_result =
   let t0 = Unix.gettimeofday () in
   let nodes : node Vec.t = Vec.create () in
   let passed = H.create 4096 in
@@ -203,7 +204,7 @@ let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU) net
         end
   in
   try
-    add None (-1) (Semantics.initial ~abstraction net);
+    add Option.None (-1) (Semantics.initial ~abstraction ~reduction net);
     let continue = ref true in
     while !continue do
       match waiting.pop () with
@@ -214,7 +215,8 @@ let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU) net
             incr explored;
             if over_budget () then raise Exit;
             let succs =
-              Array.of_list (Semantics.successors ~abstraction net n.config)
+              Array.of_list
+                (Semantics.successors ~abstraction ~reduction net n.config)
             in
             (match rng with Some g -> Prng.shuffle g succs | None -> ());
             Array.iter
@@ -238,7 +240,7 @@ let witness_of nodes id =
   in
   go id []
 
-let reach ?order ?budget ?abstraction net (q : Query.t) =
+let reach ?order ?budget ?abstraction ?reduction net (q : Query.t) =
   let net =
     List.fold_left
       (fun net (x, c) -> Network.bump_clock_bound net x c)
@@ -248,19 +250,28 @@ let reach ?order ?budget ?abstraction net (q : Query.t) =
   let goal c =
     Semantics.zone_of_goal net c q.Query.guard ~comp_locs:q.Query.comp_locs
   in
-  match run ?order ?budget ?abstraction net ~goal ~on_store:(fun _ -> ()) () with
+  match
+    run ?order ?budget ?abstraction ?reduction net ~goal
+      ~on_store:(fun _ -> ())
+      ()
+  with
   | Goal_found (nodes, id, gz, stats) ->
       Reachable { witness = witness_of nodes id; goal_zone = gz; stats }
   | Space_exhausted stats -> Unreachable stats
   | Out_of_budget stats -> Budget_exhausted stats
 
-let explore ?order ?budget ?abstraction ?(extra_bounds = []) net ~on_store =
+let explore ?order ?budget ?abstraction ?reduction ?(extra_bounds = []) net
+    ~on_store =
   let net =
     List.fold_left
       (fun net (x, c) -> Network.bump_clock_bound net x c)
       net extra_bounds
   in
-  match run ?order ?budget ?abstraction net ~goal:(fun _ -> None) ~on_store () with
+  match
+    run ?order ?budget ?abstraction ?reduction net
+      ~goal:(fun _ -> Option.None)
+      ~on_store ()
+  with
   | Goal_found _ -> assert false
   | Space_exhausted stats -> `Complete stats
   | Out_of_budget stats -> `Budget_exhausted stats

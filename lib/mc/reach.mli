@@ -17,6 +17,12 @@ type abstraction = Semantics.abstraction = ExtraM | ExtraLU
         The default everywhere is [ExtraLU]; [ExtraM] is kept as a
         differential-testing oracle and for exact goal-zone bounds. *)
 
+type reduction = Semantics.reduction = None | Active
+    (** Active-clock reduction (see {!Semantics.reduction}).  The
+        default everywhere is [Active]; [None] is kept as a
+        differential-testing oracle and for state-space measurements
+        of the reduction itself. *)
+
 type budget = { max_states : int option; max_seconds : float option }
 
 val no_budget : budget
@@ -54,6 +60,7 @@ val reach :
   ?order:order ->
   ?budget:budget ->
   ?abstraction:abstraction ->
+  ?reduction:reduction ->
   Network.t ->
   Query.t ->
   outcome
@@ -67,6 +74,7 @@ val explore :
   ?order:order ->
   ?budget:budget ->
   ?abstraction:abstraction ->
+  ?reduction:reduction ->
   ?extra_bounds:(Guard.clock * int) list ->
   Network.t ->
   on_store:(Semantics.config -> unit) ->

@@ -17,7 +17,7 @@ let goal_sup net (q : Query.t) clock (c : Semantics.config) =
   | None -> None
   | Some z -> Some (Dbm.sup z clock)
 
-let sup ?order ?budget ?abstraction ?(initial_ceiling = 1_000_000)
+let sup ?order ?budget ?abstraction ?reduction ?(initial_ceiling = 1_000_000)
     ?(max_ceiling = 1 lsl 40) net ~at ~clock =
   let rec attempt ceiling =
     let best = ref None in
@@ -33,7 +33,8 @@ let sup ?order ?budget ?abstraction ?(initial_ceiling = 1_000_000)
     in
     let extra_bounds = (clock, ceiling) :: Query.clock_constants net at in
     let result =
-      Reach.explore ?order ?budget ?abstraction ~extra_bounds net ~on_store
+      Reach.explore ?order ?budget ?abstraction ?reduction ~extra_bounds net
+        ~on_store
     in
     let observed () =
       match !best with
@@ -70,11 +71,12 @@ type search_result = {
   total_elapsed : float;
 }
 
-let check ?order ?budget ?abstraction net (at : Query.t) clock c =
+let check ?order ?budget ?abstraction ?reduction net (at : Query.t) clock c =
   let q = Query.with_guard at (Guard.clock_ge clock c) in
-  Reach.reach ?order ?budget ?abstraction net q
+  Reach.reach ?order ?budget ?abstraction ?reduction net q
 
-let binary_search ?order ?budget ?abstraction ?(hi = 1_000_000) net ~at ~clock =
+let binary_search ?order ?budget ?abstraction ?reduction ?(hi = 1_000_000) net
+    ~at ~clock =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
     incr runs;
@@ -92,7 +94,7 @@ let binary_search ?order ?budget ?abstraction ?(hi = 1_000_000) net ~at ~clock =
   in
   let exception Stop of search_result in
   let test c =
-    match check ?order ?budget ?abstraction net at clock c with
+    match check ?order ?budget ?abstraction ?reduction net at clock c with
     | Reach.Reachable { stats; _ } ->
         note stats;
         `Reachable
@@ -137,7 +139,8 @@ let binary_search ?order ?budget ?abstraction ?(hi = 1_000_000) net ~at ~clock =
     result (Some !lo) (Some !up)
   with Stop r -> r
 
-let probe_lower ?order ?abstraction net ~at ~clock ~budget ~start ~step =
+let probe_lower ?order ?abstraction ?reduction net ~at ~clock ~budget ~start
+    ~step =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
     incr runs;
@@ -148,7 +151,7 @@ let probe_lower ?order ?abstraction net ~at ~clock ~budget ~start ~step =
   let c = ref start in
   let continue = ref true in
   while !continue do
-    match check ?order ?abstraction ~budget net at clock !c with
+    match check ?order ?abstraction ?reduction ~budget net at clock !c with
     | Reach.Reachable { stats; _ } ->
         note stats;
         lower := Some !c;

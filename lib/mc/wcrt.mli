@@ -36,6 +36,7 @@ val sup :
   ?order:Reach.order ->
   ?budget:Reach.budget ->
   ?abstraction:Reach.abstraction ->
+  ?reduction:Reach.reduction ->
   ?initial_ceiling:int ->
   ?max_ceiling:int ->
   Network.t ->
@@ -60,6 +61,7 @@ val binary_search :
   ?order:Reach.order ->
   ?budget:Reach.budget ->
   ?abstraction:Reach.abstraction ->
+  ?reduction:Reach.reduction ->
   ?hi:int ->
   Network.t ->
   at:Query.t ->
@@ -72,6 +74,7 @@ val binary_search :
 val probe_lower :
   ?order:Reach.order ->
   ?abstraction:Reach.abstraction ->
+  ?reduction:Reach.reduction ->
   Network.t ->
   at:Query.t ->
   clock:Guard.clock ->

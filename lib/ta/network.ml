@@ -84,7 +84,7 @@ module Builder = struct
   let add_automaton b a = b.autos <- a :: b.autos
 
   (* Static checks: see the interface. *)
-  let validate ~channels (a : Automaton.t) =
+  let validate_sync ~channels (a : Automaton.t) =
     let check_edge (e : Automaton.edge) =
       let has_clock_guard = e.guard.Guard.clocks <> [] in
       match e.sync with
@@ -101,7 +101,7 @@ module Builder = struct
     in
     Array.iter check_edge a.edges
 
-  let build b =
+  let build ?(validate = true) b =
     let clock_names = Array.of_list (List.rev b.clocks) in
     let vars = Array.of_list (List.rev b.vars) in
     let var_names = Array.map (fun (n, _, _, _) -> n) vars in
@@ -109,7 +109,7 @@ module Builder = struct
     let var_init = Array.map (fun (_, _, _, i) -> i) vars in
     let channels = Array.of_list (List.rev b.chans) in
     let automata = Array.of_list (List.rev b.autos) in
-    Array.iter (validate ~channels) automata;
+    if validate then Array.iter (validate_sync ~channels) automata;
     (* Maximal constants per clock, over all guards, invariants and
        clock-reset values. *)
     let k = Array.make (Array.length clock_names) 0 in

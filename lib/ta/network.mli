@@ -81,6 +81,10 @@ module Builder : sig
   val channel : b -> string -> Channel.kind -> urgent:bool -> Channel.id
   val add_automaton : b -> Automaton.t -> unit
 
-  val build : b -> network
-  (** @raise Invalid_model when a static check fails. *)
+  val build : ?validate:bool -> b -> network
+  (** @raise Invalid_model when a static check fails.  [~validate:false]
+      skips the urgent/broadcast clock-guard checks and is meant for
+      the static analyzer only ({!Ita_analysis.Lint} reports the same
+      conditions as error diagnostics): a network built that way must
+      not be handed to the symbolic semantics. *)
 end

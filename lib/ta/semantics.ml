@@ -3,6 +3,7 @@ module Dbm = Ita_dbm.Dbm
 type state = { locs : int array; env : int array }
 type config = { state : state; zone : Dbm.t }
 type abstraction = ExtraM | ExtraLU
+type reduction = None | Active
 
 type label =
   | Internal of { comp : int; edge : int }
@@ -122,27 +123,27 @@ let extrapolate (net : Network.t) abstraction st z =
 
 (* Delay-close [z] in discrete state [st]: up, then invariants, then
    extrapolation.  [z] must already satisfy the invariants. *)
-let delay_close net abstraction st z =
+let delay_close net abstraction reduction st z =
   if delay_allowed net st then begin
     Dbm.up z;
     apply_invariants net st z
   end;
   extrapolate net abstraction st z;
-  normalize_inactive net st z
+  match reduction with None -> () | Active -> normalize_inactive net st z
 
-let initial ?(abstraction = ExtraLU) (net : Network.t) =
+let initial ?(abstraction = ExtraLU) ?(reduction = Active) (net : Network.t) =
   let locs = Array.map (fun (a : Automaton.t) -> a.initial) net.automata in
   let env = Array.copy net.var_init in
   let st = { locs; env } in
   let z = Dbm.zero (Network.n_clocks net) in
   apply_invariants net st z;
-  delay_close net abstraction st z;
+  delay_close net abstraction reduction st z;
   { state = st; zone = z }
 
 (* One discrete step: [parts] is the ordered list of participating
    (component, edge) pairs, the sender first.  Returns [None] when the
    step is disabled by clock guards or the target invariants. *)
-let fire (net : Network.t) abstraction c parts =
+let fire (net : Network.t) abstraction reduction c parts =
   let z = Dbm.copy c.zone in
   (* clock guards are evaluated under the pre-update environment *)
   List.iter
@@ -150,7 +151,7 @@ let fire (net : Network.t) abstraction c parts =
       let e = Automaton.edge net.automata.(i) ei in
       Guard.apply c.state.env e.guard z)
     parts;
-  if Dbm.is_empty z then None
+  if Dbm.is_empty z then Option.None
   else begin
     let env = Array.copy c.state.env in
     let locs = Array.copy c.state.locs in
@@ -162,14 +163,15 @@ let fire (net : Network.t) abstraction c parts =
       parts;
     let st = { locs; env } in
     apply_invariants net st z;
-    if Dbm.is_empty z then None
+    if Dbm.is_empty z then Option.None
     else begin
-      delay_close net abstraction st z;
-      if Dbm.is_empty z then None else Some { state = st; zone = z }
+      delay_close net abstraction reduction st z;
+      if Dbm.is_empty z then Option.None else Some { state = st; zone = z }
     end
   end
 
-let successors ?(abstraction = ExtraLU) (net : Network.t) c =
+let successors ?(abstraction = ExtraLU) ?(reduction = Active) (net : Network.t)
+    c =
   let st = c.state in
   let n = Array.length net.automata in
   let committed = any_committed net st in
@@ -188,7 +190,7 @@ let successors ?(abstraction = ExtraLU) (net : Network.t) c =
   let acc = ref [] in
   let emit label parts =
     if committed_ok parts then
-      match fire net abstraction c parts with
+      match fire net abstraction reduction c parts with
       | Some c' -> acc := (label, c') :: !acc
       | None -> ()
   in
@@ -269,11 +271,11 @@ let zone_of_goal (_net : Network.t) c g ~comp_locs =
   let at_locs =
     List.for_all (fun (i, l) -> c.state.locs.(i) = l) comp_locs
   in
-  if (not at_locs) || not (Guard.data_holds c.state.env g) then None
+  if (not at_locs) || not (Guard.data_holds c.state.env g) then Option.None
   else begin
     let z = Dbm.copy c.zone in
     Guard.apply c.state.env g z;
-    if Dbm.is_empty z then None else Some z
+    if Dbm.is_empty z then Option.None else Some z
   end
 
 let pp_label (net : Network.t) ppf = function

@@ -29,6 +29,19 @@ type abstraction = ExtraM | ExtraLU
         states, with identical reachability verdicts on the
         diagonal-free automata this library builds. *)
 
+type reduction = None | Active
+    (** Active-clock reduction (Daws–Yovine).  Under [Active]
+        delay-closure pins every clock that is inactive in the current
+        location vector ([Network.active], minus [Network.pinned]) to
+        [0], so zones differing only in dead clock values coincide —
+        a sound reduction: an inactive clock is reset before it is
+        next tested, hence its value cannot influence any future guard
+        or invariant.  [None] keeps dead clock values, which can only
+        enlarge (never change the verdicts of) the explored zone
+        graph; it is the differential-testing oracle for [Active].
+        An exploration must use one reduction for all configurations
+        it builds. *)
+
 type label =
   | Internal of { comp : int; edge : int }
   | Sync of {
@@ -40,14 +53,19 @@ type label =
 val state_equal : state -> state -> bool
 val state_hash : state -> int
 
-val initial : ?abstraction:abstraction -> Network.t -> config
-(** Default abstraction is [ExtraLU].  An exploration must use the
-    same abstraction for every configuration it builds. *)
+val initial : ?abstraction:abstraction -> ?reduction:reduction -> Network.t -> config
+(** Defaults: [ExtraLU] abstraction, [Active] reduction.  An
+    exploration must use the same abstraction for every configuration
+    it builds. *)
 
 val delay_allowed : Network.t -> state -> bool
 
 val successors :
-  ?abstraction:abstraction -> Network.t -> config -> (label * config) list
+  ?abstraction:abstraction ->
+  ?reduction:reduction ->
+  Network.t ->
+  config ->
+  (label * config) list
 (** All symbolic successors, in deterministic order.  Configurations
     with empty zones are filtered out.  @raise Update.Out_of_range on a
     variable-range violation (a modeling error). *)

@@ -26,6 +26,11 @@
     Identifiers are resolved (clock vs variable, channels, locations)
     during elaboration, not parsing. *)
 
+type pos = { line : int; col : int }
+(** 1-based source position of a declaration's introducing keyword;
+    carried through elaboration so the static analyzer can report
+    findings as [file:line:col]. *)
+
 type binop = Add | Sub | Mul | Div
 
 type cmp = Eq | Ne | Lt | Le | Gt | Ge
@@ -48,6 +53,7 @@ type loc_decl = {
   loc_kind : [ `Normal | `Urgent | `Committed ];
   loc_init : bool;
   loc_inv : exp option;
+  loc_pos : pos;
 }
 
 type sync_decl = No_sync | Send of string | Recv of string
@@ -60,12 +66,14 @@ type edge_decl = {
   edge_guard : exp option;
   edge_sync : sync_decl;
   edge_updates : assign_decl list;
+  edge_pos : pos;
 }
 
 type process_decl = {
   proc_name : string;
   locs : loc_decl list;
   edges : edge_decl list;
+  proc_pos : pos;
 }
 
 type query_decl =

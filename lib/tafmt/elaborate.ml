@@ -7,7 +7,13 @@ type query =
   | Sup_q of { clock : Guard.clock; at : Ita_mc.Query.t }
   | Deadlock_q
 
-type t = { net : Network.t; queries : query list }
+type srcmap = {
+  proc_pos : Ast.pos array;
+  loc_pos : Ast.pos array array;
+  edge_pos : Ast.pos array array;
+}
+
+type t = { net : Network.t; queries : query list; srcmap : srcmap }
 
 let err fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
 
@@ -156,7 +162,7 @@ let query_of names net e =
     guard = guard names e;
   }
 
-let elaborate (decls : Ast.t) =
+let elaborate ?(validate = true) (decls : Ast.t) =
   let b = Network.Builder.create () in
   let names =
     {
@@ -251,7 +257,34 @@ let elaborate (decls : Ast.t) =
             (Automaton.make ~name:p.Ast.proc_name ~locations ~edges ~initial)
       | Ast.Clocks _ | Ast.Var _ | Ast.Chan _ | Ast.Query _ -> ())
     decls;
-  let net = Network.Builder.build b in
+  let net = Network.Builder.build ~validate b in
+  (* automata were added in declaration order, so srcmap indices line
+     up with the network's component/location/edge indices *)
+  let procs =
+    List.filter_map
+      (function Ast.Process p -> Some p | _ -> Option.None)
+      decls
+  in
+  let srcmap =
+    {
+      proc_pos =
+        Array.of_list (List.map (fun (p : Ast.process_decl) -> p.Ast.proc_pos) procs);
+      loc_pos =
+        Array.of_list
+          (List.map
+             (fun (p : Ast.process_decl) ->
+               Array.of_list
+                 (List.map (fun (l : Ast.loc_decl) -> l.Ast.loc_pos) p.Ast.locs))
+             procs);
+      edge_pos =
+        Array.of_list
+          (List.map
+             (fun (p : Ast.process_decl) ->
+               Array.of_list
+                 (List.map (fun (e : Ast.edge_decl) -> e.Ast.edge_pos) p.Ast.edges))
+             procs);
+    }
+  in
   (* third pass: queries, which need the finished network *)
   let queries =
     List.filter_map
@@ -268,6 +301,6 @@ let elaborate (decls : Ast.t) =
         | Ast.Clocks _ | Ast.Var _ | Ast.Chan _ | Ast.Process _ -> None)
       decls
   in
-  { net; queries }
+  { net; queries; srcmap }
 
-let load_file path = elaborate (Parser.parse_file path)
+let load_file ?validate path = elaborate ?validate (Parser.parse_file path)

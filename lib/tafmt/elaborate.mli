@@ -10,12 +10,23 @@ type query =
   | Sup_q of { clock : Guard.clock; at : Ita_mc.Query.t }
   | Deadlock_q
 
-type t = { net : Network.t; queries : query list }
+type srcmap = {
+  proc_pos : Ast.pos array;  (** indexed by component *)
+  loc_pos : Ast.pos array array;  (** [loc_pos.(comp).(loc)] *)
+  edge_pos : Ast.pos array array;  (** [edge_pos.(comp).(edge)] *)
+}
+(** Source positions of the declarations behind each network index, for
+    mapping analyzer diagnostics back to the [.ta] file. *)
 
-val elaborate : Ast.t -> t
+type t = { net : Network.t; queries : query list; srcmap : srcmap }
+
+val elaborate : ?validate:bool -> Ast.t -> t
 (** @raise Elab_error on unresolved names, clock constraints under
     disjunction/negation, or comparisons between two clocks.
-    @raise Network.Invalid_model via the builder's static checks. *)
+    @raise Network.Invalid_model via the builder's static checks.
+    [~validate:false] skips the builder's urgent/broadcast clock-guard
+    checks so the linter can diagnose them instead; such a network must
+    not be model checked. *)
 
-val load_file : string -> t
+val load_file : ?validate:bool -> string -> t
 (** Parse and elaborate. *)

@@ -11,6 +11,9 @@ type t = {
   src : string;
   mutable pos : int;
   mutable line_no : int;
+  mutable line_start : int;  (* byte offset where the current line begins *)
+  mutable tok_line : int;  (* start of the most recently scanned token *)
+  mutable tok_col : int;
   mutable lookahead : token option;
 }
 
@@ -21,8 +24,19 @@ let keywords =
     "sup"; "at"; "true"; "false"; "deadlock";
   ]
 
-let of_string src = { src; pos = 0; line_no = 1; lookahead = None }
+let of_string src =
+  {
+    src;
+    pos = 0;
+    line_no = 1;
+    line_start = 0;
+    tok_line = 1;
+    tok_col = 1;
+    lookahead = None;
+  }
+
 let line lx = lx.line_no
+let pos lx = (lx.tok_line, lx.tok_col)
 
 let error lx fmt =
   Printf.ksprintf
@@ -44,6 +58,7 @@ let rec skip_space lx =
     | '\n' ->
         lx.pos <- lx.pos + 1;
         lx.line_no <- lx.line_no + 1;
+        lx.line_start <- lx.pos;
         skip_space lx
     | '/'
       when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
@@ -56,6 +71,8 @@ let rec skip_space lx =
 
 let scan lx =
   skip_space lx;
+  lx.tok_line <- lx.line_no;
+  lx.tok_col <- lx.pos - lx.line_start + 1;
   if lx.pos >= String.length lx.src then EOF
   else begin
     let c = lx.src.[lx.pos] in

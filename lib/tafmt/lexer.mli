@@ -13,6 +13,12 @@ type t
 
 val of_string : string -> t
 val line : t -> int
+
+(** [(line, col)] (1-based) where the most recently scanned token
+    starts.  Beware the lookahead: after a [peek], this is the peeked
+    token's position, so capture positions right after the [next] that
+    consumes the token of interest. *)
+val pos : t -> int * int
 val peek : t -> token
 val next : t -> token
 (** Consumes and returns the current token. *)

@@ -123,7 +123,17 @@ let rec parse_assigns lx acc =
       parse_assigns lx (a :: acc)
   | _ -> List.rev (a :: acc)
 
+(* Positions: each parse_* below runs right after [next] consumed the
+   declaration's introducing keyword ([edge], [loc], [process]), so
+   [Lexer.pos] still points at that keyword — capture it before any
+   further token is read. *)
+
+let here lx =
+  let line, col = Lexer.pos lx in
+  { Ast.line; col }
+
 let parse_edge lx =
+  let edge_pos = here lx in
   let edge_src = ident lx in
   expect lx (Lexer.PUNCT "->");
   let edge_dst = ident lx in
@@ -157,9 +167,11 @@ let parse_edge lx =
     edge_guard = !edge_guard;
     edge_sync = !edge_sync;
     edge_updates = !edge_updates;
+    edge_pos;
   }
 
 let parse_loc lx ~kind ~init =
+  let loc_pos = here lx in
   let loc_name = ident lx in
   let loc_inv =
     match Lexer.peek lx with
@@ -168,9 +180,10 @@ let parse_loc lx ~kind ~init =
         Some (parse_or lx)
     | _ -> None
   in
-  { Ast.loc_name; loc_kind = kind; loc_init = init; loc_inv }
+  { Ast.loc_name; loc_kind = kind; loc_init = init; loc_inv; loc_pos }
 
 let parse_process lx =
+  let proc_pos = here lx in
   let proc_name = ident lx in
   expect lx (Lexer.PUNCT "{");
   let locs = ref [] and edges = ref [] in
@@ -209,7 +222,7 @@ let parse_process lx =
     | t -> error lx "unexpected %s in process body" (token_str t)
   in
   body ();
-  { Ast.proc_name; locs = List.rev !locs; edges = List.rev !edges }
+  { Ast.proc_name; locs = List.rev !locs; edges = List.rev !edges; proc_pos }
 
 let parse_chan lx ~broadcast ~urgent =
   let chan_name = ident lx in

@@ -452,7 +452,7 @@ let test_verdicts_agree_on_examples () =
   in
   List.iter
     (fun file ->
-      let { E.net; queries } = E.load_file (model_path file) in
+      let { E.net; queries; _ } = E.load_file (model_path file) in
       List.iteri
         (fun i q ->
           match q with

@@ -89,7 +89,7 @@ let test_parse_error_line () =
 (* ------------------------------------------------------------------ *)
 
 let test_elaborate_two_phase () =
-  let { E.net; queries } = E.elaborate (P.parse_string two_phase_src) in
+  let { E.net; queries; _ } = E.elaborate (P.parse_string two_phase_src) in
   Alcotest.(check int) "two clocks" 2 (Network.n_clocks net);
   Alcotest.(check int) "one component" 1 (Network.n_components net);
   match queries with
@@ -121,7 +121,7 @@ process T {
 query reach U.L0 && T.M1 && z > 5
 |}
   in
-  let { E.net; queries } = E.elaborate (P.parse_string src) in
+  let { E.net; queries; _ } = E.elaborate (P.parse_string src) in
   match queries with
   | [ E.Reach_q q ] -> (
       match Ita_mc.Reach.reach net q with
@@ -160,7 +160,7 @@ let model_path name =
 let test_fischer () =
   let path = model_path "fischer.ta" in
   begin
-    let { E.net; queries } = E.load_file path in
+    let { E.net; queries; _ } = E.load_file path in
     match queries with
     | [ E.Reach_q mutex; E.Reach_q live1; E.Reach_q live2; E.Deadlock_q ] ->
         (match Ita_mc.Reach.reach net mutex with
@@ -186,7 +186,7 @@ let test_fischer () =
 
 let test_train_gate () =
   let path = model_path "train_gate.ta" in
-  let { E.net; queries } = E.load_file path in
+  let { E.net; queries; _ } = E.load_file path in
   (match queries with
   | [ E.Reach_q unsafe1; E.Reach_q unsafe2; E.Reach_q good; E.Deadlock_q ] ->
       List.iter
@@ -204,7 +204,7 @@ let test_load_example_file () =
   (* the example shipped in examples/models must stay green *)
   let path = model_path "two_phase.ta" in
   begin
-    let { E.net; queries } = E.load_file path in
+    let { E.net; queries; _ } = E.load_file path in
     Alcotest.(check int) "three queries" 3 (List.length queries);
     Alcotest.(check int) "one component" 1 (Network.n_components net)
   end
