@@ -10,9 +10,10 @@
    cell — Extra+LU only wins by exploring fewer symbolic states.
 
    Each cell additionally carries a reduction-off run (Extra+LU with
-   the active-clock reduction disabled): the reduction must preserve
-   every result verbatim and never explore more states than the
-   unreduced engine.
+   the active-clock reduction disabled) and a flow-off run (Extra+LU
+   with the builder's static extrapolation bounds instead of the
+   dataflow-refined ones): both knobs must preserve every result
+   verbatim and never explore more states than their off position.
 
    Run with: dune exec bench/mc_bench.exe            (full suite)
              BENCH_QUICK=1 dune exec bench/mc_bench.exe   (CI smoke)
@@ -49,6 +50,7 @@ type cell = {
   extram : run;
   extralu : run;
   extralu_nored : run;  (* Extra+LU with ~reduction:None *)
+  extralu_noflow : run;  (* Extra+LU with ~bounds:Static *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -61,9 +63,9 @@ let radionav_cell (row : R.row) column =
   let req = Scenario.requirement s row.R.requirement in
   let gen = Gen.generate ~measure:(row.R.scenario, req) sys in
   let obs = Option.get gen.Gen.observer in
-  let sup ?reduction abstraction =
+  let sup ?reduction ?bounds abstraction =
     match
-      Wcrt.sup ~abstraction ?reduction gen.Gen.net ~at:obs.Gen.seen
+      Wcrt.sup ~abstraction ?reduction ?bounds gen.Gen.net ~at:obs.Gen.seen
         ~clock:obs.Gen.obs_clock
     with
     | Wcrt.Sup { value; stats; _ } ->
@@ -83,6 +85,7 @@ let radionav_cell (row : R.row) column =
     extram = sup Reach.ExtraM;
     extralu = sup Reach.ExtraLU;
     extralu_nored = sup ~reduction:Reach.None Reach.ExtraLU;
+    extralu_noflow = sup ~bounds:Reach.Static Reach.ExtraLU;
   }
 
 let radionav_cells () =
@@ -103,10 +106,19 @@ let radionav_cells () =
 (* ------------------------------------------------------------------ *)
 (* Synthetic scaling family: a periodic pacer plus n sporadic clients.
    Each client clock only appears in a lower-bound guard
-   ([x_i >= S_i] on its own re-arm loop), so its U constant is 0 and
+   ([x_i >= s_i] on its own re-arm loop), so its U constant is 0 and
    Extra+LU immediately forgets how large it has grown — the classic
    LU win on minimum-separation (sporadic) event models, which
-   classical ExtraM (with k = S_i) cannot merge.                       *)
+   classical ExtraM cannot merge.
+
+   The separation [s_i] is a never-written configuration variable
+   declared with generous headroom ([0, 4*S_i], initialized to S_i) —
+   the idiom of a tunable architecture parameter.  The builder's static
+   scan must take the guard bound's worst case over the declared range
+   (L(x_i) = 4*S_i); the dataflow analysis proves s_i is the constant
+   S_i, so the flow-refined L is 4x tighter and Extra+LU merges
+   correspondingly more states.  This is the flow-bounds column's
+   guaranteed strict win.                                              *)
 (* ------------------------------------------------------------------ *)
 
 let sporadic_family n =
@@ -140,6 +152,11 @@ let sporadic_family n =
   for i = 0 to n - 1 do
     let x = clocks.(i) in
     let sep = 3 + (2 * i) in
+    let sv =
+      Network.Builder.int_var b
+        (Printf.sprintf "s%d" i)
+        ~lo:0 ~hi:(4 * sep) ~init:sep
+    in
     Network.Builder.add_automaton b
       (Automaton.make
          ~name:(Printf.sprintf "C%d" i)
@@ -155,7 +172,7 @@ let sporadic_family n =
            [
              {
                Automaton.src = 0;
-               guard = Guard.clock_ge x sep;
+               guard = Guard.clock_rel x Guard.Ge (Expr.Var sv);
                sync = Automaton.NoSync;
                update = Update.reset x;
                dst = 0;
@@ -167,8 +184,10 @@ let sporadic_family n =
 
 let sporadic_cell n =
   let net = sporadic_family n in
-  let explore ?reduction abstraction =
-    match Reach.explore ~abstraction ?reduction net ~on_store:(fun _ -> ()) with
+  let explore ?reduction ?bounds abstraction =
+    match
+      Reach.explore ~abstraction ?reduction ?bounds net ~on_store:(fun _ -> ())
+    with
     | `Complete stats -> run_of_stats stats "complete"
     | `Budget_exhausted stats -> run_of_stats stats "budget"
   in
@@ -178,6 +197,7 @@ let sporadic_cell n =
     extram = explore Reach.ExtraM;
     extralu = explore Reach.ExtraLU;
     extralu_nored = explore ~reduction:Reach.None Reach.ExtraLU;
+    extralu_noflow = explore ~bounds:Reach.Static Reach.ExtraLU;
   }
 
 let ring_cells () =
@@ -203,19 +223,28 @@ let json_cell buf c =
     else
       float_of_int c.extralu.explored /. float_of_int c.extralu_nored.explored
   in
+  let flow_ratio =
+    if c.extralu_noflow.explored = 0 then 1.0
+    else
+      float_of_int c.extralu.explored /. float_of_int c.extralu_noflow.explored
+  in
   Buffer.add_string buf
     (Printf.sprintf
-       {|    {"name": %S, "kind": %S, "results_match": %b, "explored_ratio": %.4f, "reduction_results_match": %b, "reduction_explored_ratio": %.4f, "extram": |}
+       {|    {"name": %S, "kind": %S, "results_match": %b, "explored_ratio": %.4f, "reduction_results_match": %b, "reduction_explored_ratio": %.4f, "flow_results_match": %b, "flow_bounds_explored_ratio": %.4f, "extram": |}
        c.name c.kind
        (c.extram.result = c.extralu.result)
        ratio
        (c.extralu.result = c.extralu_nored.result)
-       red_ratio);
+       red_ratio
+       (c.extralu.result = c.extralu_noflow.result)
+       flow_ratio);
   json_run buf c.extram;
   Buffer.add_string buf {|, "extralu": |};
   json_run buf c.extralu;
   Buffer.add_string buf {|, "extralu_no_reduction": |};
   json_run buf c.extralu_nored;
+  Buffer.add_string buf {|, "extralu_no_flow": |};
+  json_run buf c.extralu_noflow;
   Buffer.add_string buf "}"
 
 let () =
@@ -230,11 +259,20 @@ let () =
   let red_regressions =
     List.filter (fun c -> c.extralu.explored > c.extralu_nored.explored) cells
   in
+  let flow_mismatches =
+    List.filter (fun c -> c.extralu.result <> c.extralu_noflow.result) cells
+  in
+  let flow_regressions =
+    List.filter (fun c -> c.extralu.explored > c.extralu_noflow.explored) cells
+  in
   List.iter
     (fun c ->
       Printf.printf
-        "%-40s extram %7d  extralu %7d  no-red %7d  ratio %.3f  [%s]\n%!"
+        "%-40s extram %7d  extralu %7d  no-red %7d  no-flow %7d  ratio %.3f  \
+         [%s]\n\
+         %!"
         c.name c.extram.explored c.extralu.explored c.extralu_nored.explored
+        c.extralu_noflow.explored
         (if c.extram.explored = 0 then 1.0
          else float_of_int c.extralu.explored /. float_of_int c.extram.explored)
         (if c.extram.result = c.extralu.result then c.extram.result
@@ -255,6 +293,13 @@ let () =
     if off = 0 then 1.0 else float_of_int on /. float_of_int off
   in
   Printf.printf "reduction explored ratio (active / none): %.3f\n%!" red_ratio;
+  let flow_ratio =
+    let off = total cells (fun c -> c.extralu_noflow.explored) in
+    let on = total cells (fun c -> c.extralu.explored) in
+    if off = 0 then 1.0 else float_of_int on /. float_of_int off
+  in
+  Printf.printf "flow-bounds explored ratio (flow / static): %.3f\n%!"
+    flow_ratio;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -265,6 +310,9 @@ let () =
   Buffer.add_string buf "\n";
   Buffer.add_string buf
     (Printf.sprintf {|  "reduction_explored_ratio": %.4f,|} red_ratio);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Printf.sprintf {|  "flow_bounds_explored_ratio": %.4f,|} flow_ratio);
   Buffer.add_string buf "\n  \"cells\": [\n";
   List.iteri
     (fun i c ->
@@ -291,5 +339,17 @@ let () =
     Printf.eprintf
       "ERROR: %d cells explore MORE states with the reduction on\n"
       (List.length red_regressions);
+    exit 1
+  end;
+  if flow_mismatches <> [] then begin
+    Printf.eprintf
+      "ERROR: %d cells disagree between flow-refined and static bounds\n"
+      (List.length flow_mismatches);
+    exit 1
+  end;
+  if flow_regressions <> [] then begin
+    Printf.eprintf
+      "ERROR: %d cells explore MORE states with flow-refined bounds\n"
+      (List.length flow_regressions);
     exit 1
   end

@@ -71,6 +71,27 @@ let abstraction_arg =
     & info [ "abstraction" ]
         ~doc:"zone abstraction: extralu (default) or extram (oracle)")
 
+let bounds_conv =
+  let parse = function
+    | "flow" -> Ok Reach.Flow
+    | "static" -> Ok Reach.Static
+    | s -> Error (`Msg (Printf.sprintf "unknown bounds %S (flow or static)" s))
+  in
+  let print ppf b =
+    Format.pp_print_string ppf
+      (match b with Reach.Flow -> "flow" | Reach.Static -> "static")
+  in
+  Arg.conv (parse, print)
+
+let bounds_arg =
+  Arg.(
+    value
+    & opt bounds_conv Reach.Flow
+    & info [ "bounds" ]
+        ~doc:
+          "extrapolation-bound source: flow (default, refined by the \
+           dataflow analysis) or static (the builder's one-shot scan)")
+
 (* the parser above cannot know the seed yet; thread it in here *)
 let seeded_order order seed =
   match order with Reach.Random_dfs _ -> Reach.Random_dfs seed | o -> o
@@ -100,7 +121,7 @@ let budget_arg =
 (* ------------------------------------------------------------------ *)
 
 let run_wcrt combo column scenario requirement order seed budget probe_start_ms
-    abstraction =
+    abstraction bounds =
   let order = seeded_order order seed in
   let sys = R.system combo column in
   let method_ =
@@ -115,7 +136,9 @@ let run_wcrt combo column scenario requirement order seed budget probe_start_ms
             step = Units.us_of_ms 10.0;
           }
   in
-  let r = Analyze.wcrt ~method_ ~order ~abstraction sys ~scenario ~requirement in
+  let r =
+    Analyze.wcrt ~method_ ~order ~abstraction ~bounds sys ~scenario ~requirement
+  in
   Format.printf "%s %s/%s [%s]: uncontended %a ms, wcrt %a ms (%d states, %.2fs)@."
     (match combo with R.Cv_tmc -> "cv" | R.Al_tmc -> "al")
     scenario requirement (R.column_name column) Units.pp_ms
@@ -137,7 +160,8 @@ let wcrt_cmd =
   Cmd.v (Cmd.info "wcrt" ~doc:"model-check one requirement")
     Term.(
       const run_wcrt $ combo_arg $ column_arg $ scenario $ requirement
-      $ order_arg $ seed_arg $ budget_arg $ probe_start $ abstraction_arg)
+      $ order_arg $ seed_arg $ budget_arg $ probe_start $ abstraction_arg
+      $ bounds_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -431,7 +455,7 @@ let technique_conv =
 
 let run_explore combo column scenario requirement techniques mmi_mips rad_mips
     nav_mips bus_kbps decode_on jobs timeout_s cache_dir no_cache mc_states
-    mc_seconds mc_abstraction sim_runs sim_horizon_s inject_crash =
+    mc_seconds mc_abstraction mc_bounds sim_runs sim_horizon_s inject_crash =
   let open Ita_dse in
   let space =
     Spaces.radionav ~combo ~column ~mmi_mips ~rad_mips ~nav_mips ~bus_kbps
@@ -443,6 +467,7 @@ let run_explore combo column scenario requirement techniques mmi_mips rad_mips
       Job.mc_states;
       mc_seconds;
       mc_abstraction;
+      mc_bounds;
       sim_runs;
       sim_horizon_us = int_of_float (sim_horizon_s *. 1e6);
     }
@@ -551,7 +576,7 @@ let explore_cmd =
       const run_explore $ combo $ column $ scenario $ requirement
       $ techniques $ mmi $ rad $ nav $ bus $ decode_on $ jobs $ timeout
       $ cache_dir $ no_cache $ mc_states $ mc_seconds $ abstraction_arg
-      $ sim_runs $ sim_horizon $ inject_crash)
+      $ bounds_arg $ sim_runs $ sim_horizon $ inject_crash)
 
 (* ------------------------------------------------------------------ *)
 (* lint: static analysis of the generated networks                     *)
@@ -562,6 +587,7 @@ module Diag = Ita_analysis.Diagnostic
 
 let severity_conv =
   let parse = function
+    | "hint" -> Ok Diag.Hint
     | "info" -> Ok Diag.Info
     | "warning" -> Ok Diag.Warning
     | "error" -> Ok Diag.Error
@@ -576,12 +602,13 @@ let combo_name = function R.Cv_tmc -> "cv" | R.Al_tmc -> "al"
    column, the plain network and each Table-1 measured variant (the
    measuring automaton and observer clock included).  Findings at or
    above the threshold make the exit code nonzero. *)
-let run_lint combos columns fail_on verbose =
+let run_lint combos columns fail_on verbose json =
   let combos = if combos = [] then [ R.Cv_tmc; R.Al_tmc ] else combos in
   let columns =
     if columns = [] then [ R.Po; R.Pno; R.Sp; R.Pj; R.Bur ] else columns
   in
   let checked = ref 0 and flagged = ref 0 in
+  let reports = ref [] in
   let lint_net label ?observer net =
     incr checked;
     let observed_clocks =
@@ -590,7 +617,16 @@ let run_lint combos columns fail_on verbose =
       | None -> []
     in
     let findings = Lint.run ~observed_clocks net in
-    if findings <> [] && (verbose || Diag.worst findings <> Some Diag.Info)
+    if json then begin
+      if findings <> [] then reports := (label, net, findings) :: !reports
+    end
+    else if
+      findings <> []
+      && (verbose
+         || Diag.compare_severity
+              (Option.value ~default:Diag.Hint (Diag.worst findings))
+              Diag.Info
+            > 0)
     then begin
       Format.printf "-- %s --@." label;
       Lint.pp_report net Format.std_formatter findings
@@ -626,10 +662,29 @@ let run_lint combos columns fail_on verbose =
             R.table1_rows)
         columns)
     combos;
-  Format.printf "linted %d generated networks: %d finding%s at %s or above@."
-    !checked !flagged
-    (if !flagged = 1 then "" else "s")
-    (Diag.severity_name fail_on);
+  if json then begin
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n  \"networks\": [";
+    List.iteri
+      (fun i (label, net, findings) ->
+        Buffer.add_string buf (if i > 0 then ",\n    " else "\n    ");
+        Buffer.add_string buf (Printf.sprintf {|{"label": %S, "report": |} label);
+        Buffer.add_string buf (String.trim (Lint.to_json net findings));
+        Buffer.add_string buf "}")
+      (List.rev !reports);
+    Buffer.add_string buf (if !reports = [] then "],\n" else "\n  ],\n");
+    Buffer.add_string buf
+      (Printf.sprintf {|  "checked": %d, "flagged": %d, "fail_on": %S|}
+         !checked !flagged
+         (Diag.severity_name fail_on));
+    Buffer.add_string buf "\n}\n";
+    print_string (Buffer.contents buf)
+  end
+  else
+    Format.printf "linted %d generated networks: %d finding%s at %s or above@."
+      !checked !flagged
+      (if !flagged = 1 then "" else "s")
+      (Diag.severity_name fail_on);
   if !flagged > 0 then exit 1
 
 let lint_cmd =
@@ -657,10 +712,16 @@ let lint_cmd =
       value & flag
       & info [ "verbose" ] ~doc:"also print reports that are info-only")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"machine-readable report on stdout instead of the human format")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"run the static analyzer over every generated network")
-    Term.(const run_lint $ combos $ columns $ fail_on $ verbose)
+    Term.(const run_lint $ combos $ columns $ fail_on $ verbose $ json)
 
 (* ------------------------------------------------------------------ *)
 (* ablation: scheduler policies                                        *)

@@ -157,6 +157,7 @@ module Lint = Ita_analysis.Lint
 
 let severity_conv =
   let parse = function
+    | "hint" -> Ok D.Hint
     | "info" -> Ok D.Info
     | "warning" -> Ok D.Warning
     | "error" -> Ok D.Error
@@ -187,7 +188,16 @@ let observed_of_queries queries =
     queries;
   (!clocks, !vars)
 
-let run_lint path fail_on =
+(* map diagnostic sites to source positions through the elaborator's
+   source map; shared by lint (file:line:col prefixes, deterministic
+   ordering) and flow (per-location annotations) *)
+let site_pos (srcmap : E.srcmap) = function
+  | D.Automaton_site i -> Some srcmap.E.proc_pos.(i)
+  | D.Location_site { comp; loc } -> Some srcmap.E.loc_pos.(comp).(loc)
+  | D.Edge_site { comp; edge } -> Some srcmap.E.edge_pos.(comp).(edge)
+  | D.Network_site | D.Clock_site _ | D.Var_site _ | D.Channel_site _ -> None
+
+let run_lint path fail_on json =
   match load ~validate:false path with
   | Error m ->
       prerr_endline m;
@@ -198,16 +208,14 @@ let run_lint path fail_on =
       let pos_str { Ita_tafmt.Ast.line; col } =
         Printf.sprintf "%s:%d:%d" path line col
       in
-      let resolve = function
-        | D.Automaton_site i -> Some (pos_str srcmap.E.proc_pos.(i))
-        | D.Location_site { comp; loc } ->
-            Some (pos_str srcmap.E.loc_pos.(comp).(loc))
-        | D.Edge_site { comp; edge } ->
-            Some (pos_str srcmap.E.edge_pos.(comp).(edge))
-        | D.Network_site | D.Clock_site _ | D.Var_site _ | D.Channel_site _ ->
-            None
+      let resolve site = Option.map pos_str (site_pos srcmap site) in
+      let pos site =
+        Option.map
+          (fun { Ita_tafmt.Ast.line; col } -> (line, col))
+          (site_pos srcmap site)
       in
-      Lint.pp_report ~resolve net Format.std_formatter findings;
+      if json then print_string (Lint.to_json ~resolve ~pos net findings)
+      else Lint.pp_report ~resolve ~pos net Format.std_formatter findings;
       if
         List.exists
           (fun (d : D.t) -> D.compare_severity d.D.severity fail_on >= 0)
@@ -222,16 +230,51 @@ let lint_cmd =
       & opt severity_conv D.Error
       & info [ "fail-on" ]
           ~doc:"lowest severity that makes the exit code nonzero \
-                (info/warning/error)")
+                (hint/info/warning/error)")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"machine-readable report on stdout instead of the human format")
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"static well-formedness analysis of a .ta file's network")
-    Term.(const run_lint $ file_arg $ fail_on)
+    Term.(const run_lint $ file_arg $ fail_on $ json)
+
+(* flow: print the abstract-interpretation results — per-location
+   variable intervals (with source positions) and the inferred global
+   ranges. *)
+
+let run_flow path =
+  match load path with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok { E.net; srcmap; _ } ->
+      let fa = Ita_analysis.Flow.analyze net in
+      let pos_str { Ita_tafmt.Ast.line; col } =
+        Printf.sprintf "%s:%d:%d" path line col
+      in
+      let resolve = function
+        | `Automaton i -> Some (pos_str srcmap.E.proc_pos.(i))
+        | `Location (i, l) -> Some (pos_str srcmap.E.loc_pos.(i).(l))
+      in
+      Ita_analysis.Flow.pp ~resolve fa Format.std_formatter ();
+      0
+
+let flow_cmd =
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "abstract-interpretation dataflow analysis of a .ta file: \
+          per-location variable intervals and global ranges")
+    Term.(const run_flow $ file_arg)
 
 let () =
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "tamc" ~doc:"timed-automata model checker for .ta files")
-          [ check_cmd; show_cmd; lint_cmd ]))
+          [ check_cmd; show_cmd; lint_cmd; flow_cmd ]))

@@ -1,6 +1,6 @@
 open Ita_ta
 
-type severity = Info | Warning | Error
+type severity = Hint | Info | Warning | Error
 
 type site =
   | Network_site
@@ -22,6 +22,9 @@ type pass =
   | Channel_peer
   | Committed_cycle
   | Zeno_cycle
+  | Dead_edge
+  | Trivial_guard
+  | Sync_write_race
 
 type t = {
   pass : pass;
@@ -42,13 +45,33 @@ let pass_name = function
   | Channel_peer -> "channel-peer"
   | Committed_cycle -> "committed-cycle"
   | Zeno_cycle -> "zeno-cycle"
+  | Dead_edge -> "dead-edge"
+  | Trivial_guard -> "always-true-guard"
+  | Sync_write_race -> "sync-write-race"
+
+(* stable numeric pass id, part of the deterministic output order *)
+let pass_id = function
+  | Unused_clock -> 0
+  | Never_reset_clock -> 1
+  | Dead_var -> 2
+  | Range_overflow -> 3
+  | Unreachable_location -> 4
+  | Invariant_misuse -> 5
+  | Urgent_clock_guard -> 6
+  | Channel_peer -> 7
+  | Committed_cycle -> 8
+  | Zeno_cycle -> 9
+  | Dead_edge -> 10
+  | Trivial_guard -> 11
+  | Sync_write_race -> 12
 
 let severity_name = function
+  | Hint -> "hint"
   | Info -> "info"
   | Warning -> "warning"
   | Error -> "error"
 
-let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let severity_rank = function Hint -> 0 | Info -> 1 | Warning -> 2 | Error -> 3
 let compare_severity a b = compare (severity_rank a) (severity_rank b)
 
 let worst = function
@@ -58,7 +81,7 @@ let worst = function
         (List.fold_left
            (fun acc d ->
              if compare_severity d.severity acc > 0 then d.severity else acc)
-           Info ds)
+           Hint ds)
 
 let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
 let by_pass p ds = List.filter (fun d -> d.pass = p) ds

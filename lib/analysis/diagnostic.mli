@@ -10,7 +10,7 @@
 
 open Ita_ta
 
-type severity = Info | Warning | Error
+type severity = Hint | Info | Warning | Error
 
 type site =
   | Network_site
@@ -33,6 +33,9 @@ type pass =
   | Channel_peer  (** sends without receivers and the like *)
   | Committed_cycle  (** discrete livelock through committed locations *)
   | Zeno_cycle  (** cycle resetting no clock, crossing no lower bound *)
+  | Dead_edge  (** edge can never fire under the interval analysis *)
+  | Trivial_guard  (** non-trivial data guard that always evaluates true *)
+  | Sync_write_race  (** write-write collision on a co-enabled sync pair *)
 
 type t = {
   pass : pass;
@@ -45,10 +48,13 @@ type t = {
 val pass_name : pass -> string
 (** Kebab-case, as printed inside the [severity[pass-name]] tag. *)
 
+val pass_id : pass -> int
+(** Stable numeric id; the deterministic output order ties on it. *)
+
 val severity_name : severity -> string
 
 val compare_severity : severity -> severity -> int
-(** [Info < Warning < Error]. *)
+(** [Hint < Info < Warning < Error]. *)
 
 val worst : t list -> severity option
 (** The highest severity present; [None] on a clean report. *)
@@ -59,6 +65,10 @@ val by_pass : pass -> t list -> t list
 
 val sort : t list -> t list
 (** Stable order: severity descending, then site (component-major). *)
+
+val site_key : site -> int * int * int * int
+(** Component-major site order, for callers composing their own
+    deterministic output orders. *)
 
 val pp_site : Network.t -> Format.formatter -> site -> unit
 (** ["BUS"], ["BUS.claim"], ["BUS: claim -> run"], ["clock x"], ... *)

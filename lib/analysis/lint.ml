@@ -104,56 +104,36 @@ let var_pass ~observed (net : Network.t) =
 
 (* ---- range-overflow ---- *)
 
-(* Tighten the declared per-variable ranges by the conjuncts of an edge's
-   data guard of shape [v ~ e] / [e ~ v]: a guarded counter update like
-   [n < MAX -> n = n + 1] must not be flagged.  Sound over-approximation
-   only, so disjunctions and negations are ignored. *)
-let refine_ranges declared (b : Expr.bexp) =
-  let ranges = Array.copy declared in
-  let clamp v lo hi =
-    let l, h = ranges.(v) in
-    let l' = max l lo and h' = min h hi in
-    (* contradictory guard (edge never fires): keep the declared range
-       rather than manufacture an empty interval *)
-    if l' <= h' then ranges.(v) <- (l', h')
-  in
-  let apply_cmp cmp v lo hi =
-    match cmp with
-    | Expr.Eq -> clamp v lo hi
-    | Expr.Le -> clamp v min_int hi
-    | Expr.Lt -> clamp v min_int (if hi = min_int then hi else hi - 1)
-    | Expr.Ge -> clamp v lo max_int
-    | Expr.Gt -> clamp v (if lo = max_int then lo else lo + 1) max_int
-    | Expr.Ne -> ()
-  in
-  let flip = function
-    | Expr.Lt -> Expr.Gt
-    | Expr.Le -> Expr.Ge
-    | Expr.Gt -> Expr.Lt
-    | Expr.Ge -> Expr.Le
-    | (Expr.Eq | Expr.Ne) as c -> c
-  in
-  let rec go = function
-    | Expr.And (a, b) ->
-        go a;
-        go b
-    | Expr.Cmp (cmp, Expr.Var v, e) ->
-        let lo, hi = Expr.interval ranges e in
-        apply_cmp cmp v lo hi
-    | Expr.Cmp (cmp, e, Expr.Var v) ->
-        let lo, hi = Expr.interval ranges e in
-        apply_cmp (flip cmp) v lo hi
-    | _ -> ()
-  in
-  go b;
-  ranges
-
-let range_pass (net : Network.t) =
+(* Flow-powered: updates are checked against the interval analysis's
+   per-location environment at the edge source, refined by the edge's
+   own data guard — strictly tighter than the old declared-range scan,
+   so guarded counter updates like [n < MAX -> n = n + 1] and
+   protocol-invariant updates both stay silent.  Edges the analysis
+   proves dead never run their updates and are skipped (the dead-edge
+   pass owns them). *)
+let range_pass fa (net : Network.t) =
   let out = ref [] in
   iter_edges net (fun ci ei _a (e : Automaton.edge) ->
+      if Flow.edge_status fa ci ei = Flow.Live then begin
       let site = D.Edge_site { comp = ci; edge = ei } in
+      let env = Option.get (Flow.env_at fa ci e.Automaton.src) in
+      let env =
+        match Flow.refine env e.Automaton.guard.Guard.data with
+        | Some env -> env
+        | None -> env
+      in
+      (* a receiver's update runs after its sender's, which may have
+         rewritten shared variables since the guard held: read those
+         through the global range instead of the refined snapshot *)
       let ranges =
-        refine_ranges net.Network.var_ranges e.Automaton.guard.Guard.data
+        match e.Automaton.sync with
+        | Automaton.Recv _ ->
+            Array.mapi
+              (fun v iv ->
+                if Flow.stable_var fa ci v then iv
+                else (Flow.global_ranges fa).(v))
+              env
+        | Automaton.NoSync | Automaton.Send _ -> Array.copy env
       in
       List.iter
         (function
@@ -210,26 +190,33 @@ let range_pass (net : Network.t) =
                  would have raised otherwise) *)
               let lo' = max lo dlo and hi' = min hi dhi in
               if lo' <= hi' then ranges.(v) <- (lo', hi'))
-        e.Automaton.update);
+        e.Automaton.update
+      end);
   !out
 
 (* ---- unreachable-location ---- *)
+
+(* locations with an edge path from the initial location *)
+let syntactic_reach (a : Automaton.t) =
+  let nl = Array.length a.Automaton.locations in
+  let seen = Array.make nl false in
+  let rec visit l =
+    if not seen.(l) then begin
+      seen.(l) <- true;
+      List.iter
+        (fun ei -> visit (Automaton.edge a ei).Automaton.dst)
+        (Automaton.out_edges a l)
+    end
+  in
+  visit a.Automaton.initial;
+  seen
 
 let unreachable_pass (net : Network.t) =
   let out = ref [] in
   Array.iteri
     (fun ci (a : Automaton.t) ->
       let nl = Array.length a.Automaton.locations in
-      let seen = Array.make nl false in
-      let rec visit l =
-        if not seen.(l) then begin
-          seen.(l) <- true;
-          List.iter
-            (fun ei -> visit (Automaton.edge a ei).Automaton.dst)
-            (Automaton.out_edges a l)
-        end
-      in
-      visit a.Automaton.initial;
+      let seen = syntactic_reach a in
       for l = 0 to nl - 1 do
         if not seen.(l) then
           out :=
@@ -552,6 +539,88 @@ let zeno_pass (net : Network.t) =
     net.Network.automata;
   !out
 
+(* ---- dead-edge (semantic, flow-powered) ---- *)
+
+let dead_edge_pass fa (net : Network.t) =
+  let out = ref [] in
+  (* a location edge paths reach but no variable valuation does: report
+     once here rather than on each of its outgoing edges (their
+     [Unreachable_source] status is cascade noise) *)
+  Array.iteri
+    (fun ci (a : Automaton.t) ->
+      let seen = syntactic_reach a in
+      Array.iteri
+        (fun l _ ->
+          if seen.(l) && not (Flow.reachable fa ci l) then
+            out :=
+              mk ~fix:"remove the location or fix the guards leading to it"
+                D.Dead_edge D.Warning
+                (D.Location_site { comp = ci; loc = l })
+                "edge paths reach this location, but the interval analysis \
+                 proves no variable valuation does: every incoming edge is \
+                 dead"
+              :: !out)
+        a.Automaton.locations)
+    net.Network.automata;
+  iter_edges net (fun ci ei _a (e : Automaton.edge) ->
+      let site = D.Edge_site { comp = ci; edge = ei } in
+      match Flow.edge_status fa ci ei with
+      | Flow.Live | Flow.Dead Flow.Unreachable_source -> ()
+      | Flow.Dead Flow.Unsat_guard ->
+          out :=
+            mk ~fix:"remove the edge or repair its guard" D.Dead_edge
+              D.Warning site
+              "guard is unsatisfiable under the inferred variable intervals: \
+               the edge can never fire"
+            :: !out
+      | Flow.Dead Flow.No_partner ->
+          let c =
+            match e.Automaton.sync with
+            | Automaton.Send c | Automaton.Recv c -> c
+            | Automaton.NoSync -> assert false
+          in
+          out :=
+            mk ~fix:"align the partner guards or remove the edge" D.Dead_edge
+              D.Warning site
+              (sprintf
+                 "no partner edge on channel %s is ever co-enabled with this \
+                  one: the synchronization can never fire"
+                 net.Network.channels.(c).Channel.name)
+            :: !out);
+  !out
+
+(* ---- always-true-guard (semantic, flow-powered) ---- *)
+
+let trivial_guard_pass fa (net : Network.t) =
+  let out = ref [] in
+  iter_edges net (fun ci ei _a (_e : Automaton.edge) ->
+      if Flow.guard_data_trivial fa ci ei then
+        out :=
+          mk ~fix:"drop the data guard" D.Trivial_guard D.Hint
+            (D.Edge_site { comp = ci; edge = ei })
+            "data guard evaluates to true at every reachable valuation: it \
+             never restricts the edge"
+          :: !out);
+  !out
+
+(* ---- sync-write-race (semantic, flow-powered) ---- *)
+
+let race_pass fa (net : Network.t) =
+  List.map
+    (fun (r : Flow.race) ->
+      let si, _se = r.Flow.race_writer and ri, re = r.Flow.race_other in
+      mk ~fix:"write the variable on one side of the synchronization only"
+        D.Sync_write_race D.Warning
+        (D.Edge_site { comp = ri; edge = re })
+        (sprintf
+           "both sides of a synchronization on channel %s write %s; \
+            participants update sender-first, so this receiver's assignment \
+            silently overwrites %s's"
+           net.Network.channels.(r.Flow.race_chan).Channel.name
+           net.Network.var_names.(r.Flow.race_var)
+           net.Network.automata.(si).Automaton.name))
+    (List.sort_uniq compare (Flow.races fa))
+
 (* ---- driver ---- *)
 
 let run ?(observed_clocks = []) ?(observed_vars = []) (net : Network.t) =
@@ -559,30 +628,81 @@ let run ?(observed_clocks = []) ?(observed_vars = []) (net : Network.t) =
   List.iter (fun x -> obs_c.(x) <- true) observed_clocks;
   let obs_v = Array.make (Array.length net.Network.var_names) false in
   List.iter (fun v -> obs_v.(v) <- true) observed_vars;
+  let fa = Flow.analyze net in
   D.sort
     (List.concat
        [
          clock_passes ~observed:obs_c net;
          var_pass ~observed:obs_v net;
-         range_pass net;
+         range_pass fa net;
          unreachable_pass net;
          invariant_pass net;
          urgent_pass net;
          channel_pass net;
          committed_pass net;
          zeno_pass net;
+         dead_edge_pass fa net;
+         trivial_guard_pass fa net;
+         race_pass fa net;
        ])
 
-let pp_report ?resolve net ppf findings =
-  let findings = D.sort findings in
+(* Deterministic output order: findings with a source position first by
+   (line, col), the rest in component-major site order, ties broken by
+   the stable pass id — so lint output and [--fail-on] behavior never
+   depend on pass scheduling. *)
+let output_order ?pos findings =
+  let key (d : D.t) =
+    match (match pos with Some f -> f d.D.site | None -> None) with
+    | Some (line, col) -> (1, line, col, D.site_key d.D.site, D.pass_id d.D.pass)
+    | None -> (0, 0, 0, D.site_key d.D.site, D.pass_id d.D.pass)
+  in
+  List.stable_sort (fun a b -> compare (key a) (key b)) findings
+
+let pp_report ?resolve ?pos net ppf findings =
+  let findings = output_order ?pos findings in
   List.iter
     (fun d -> Format.fprintf ppf "%a@." (D.pp ?resolve net) d)
     findings;
   let e = D.count D.Error findings
   and w = D.count D.Warning findings
-  and i = D.count D.Info findings in
-  Format.fprintf ppf "%d error%s, %d warning%s, %d info@." e
+  and i = D.count D.Info findings
+  and h = D.count D.Hint findings in
+  Format.fprintf ppf "%d error%s, %d warning%s, %d info, %d hint%s@." e
     (if e = 1 then "" else "s")
     w
     (if w = 1 then "" else "s")
-    i
+    i h
+    (if h = 1 then "" else "s")
+
+let to_json ?resolve ?pos (net : Network.t) findings =
+  let findings = output_order ?pos findings in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"findings\": [";
+  List.iteri
+    (fun i (d : D.t) ->
+      Buffer.add_string buf (if i > 0 then ",\n    " else "\n    ");
+      let site = Format.asprintf "%a" (D.pp_site net) d.D.site in
+      Buffer.add_string buf
+        (Printf.sprintf {|{"severity": %S, "pass": %S, "site": %S|}
+           (D.severity_name d.D.severity)
+           (D.pass_name d.D.pass) site);
+      (match Option.bind resolve (fun f -> f d.D.site) with
+      | Some p -> Buffer.add_string buf (Printf.sprintf {|, "position": %S|} p)
+      | None -> ());
+      Buffer.add_string buf (Printf.sprintf {|, "message": %S|} d.D.message);
+      (match d.D.fix with
+      | Some f -> Buffer.add_string buf (Printf.sprintf {|, "fix": %S|} f)
+      | None -> ());
+      Buffer.add_string buf "}")
+    findings;
+  Buffer.add_string buf
+    (if findings = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|  "summary": {"errors": %d, "warnings": %d, "info": %d, "hints": %d}|}
+       (D.count D.Error findings)
+       (D.count D.Warning findings)
+       (D.count D.Info findings)
+       (D.count D.Hint findings));
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

@@ -1,17 +1,21 @@
 (** Well-formedness diagnostics over a network of timed automata.
 
     [run] executes every pass and returns the findings sorted by
-    severity.  The passes are purely syntactic / static — no zone graph
-    is built — so they are cheap enough to run on every design-space
-    candidate before the checker:
+    severity.  The passes are static — no zone graph is built — so they
+    are cheap enough to run on every design-space candidate before the
+    checker.  Since the dataflow engine ({!Flow}) landed, a subset is
+    {e semantic}: powered by the per-location interval fixpoint rather
+    than a syntactic scan.  The passes:
 
     - [unused-clock]: a clock no guard or invariant ever tests;
     - [never-reset-clock]: a clock that is tested but never reset
       (measures absolute time; often intentional, hence [Info]);
     - [dead-var]: an integer variable that is never read;
-    - [range-overflow]: an update whose interval enclosure can leave the
-      variable's declared range (would raise [Update.Out_of_range] at
-      exploration time), or a clock reset that can be negative;
+    - [range-overflow]: an update whose interval enclosure — under the
+      flow analysis's per-location environment at the edge source,
+      refined by the edge's own guard — can leave the variable's
+      declared range (would raise [Update.Out_of_range] at exploration
+      time), or a clock reset that can be negative;
     - [unreachable-location]: no edge path from the initial location;
     - [invariant-misuse]: lower-bound or equality invariants, and data
       predicates in invariants (ignored by the symbolic semantics);
@@ -28,7 +32,18 @@
     - [zeno-cycle]: a structural cycle that resets no clock which is
       also bounded from below on the cycle, so runs may converge in
       time.  Downgraded to [Info] when the cycle synchronizes (the
-      pacing may come from the partner, invisible per-component). *)
+      pacing may come from the partner, invisible per-component);
+    - [dead-edge] (semantic): an edge whose guard is unsatisfiable
+      under the inferred intervals, a synchronizing edge no partner is
+      ever co-enabled with, or a syntactically reachable location no
+      valuation flows into (reported once at the location; its
+      outgoing edges are suppressed as cascade noise);
+    - [always-true-guard] (semantic, [Hint]): a non-trivial data guard
+      that evaluates to true at every reachable valuation;
+    - [sync-write-race] (semantic): sender and receiver of a
+      co-enabled synchronization pair both assign the same shared
+      variable — participants update sender-first, so the receiver's
+      value silently wins. *)
 
 open Ita_ta
 
@@ -42,11 +57,31 @@ val run :
     from the unused/never-reset/dead passes, as are clocks already
     pinned by {!Network.bump_clock_bound}. *)
 
+val output_order :
+  ?pos:(Diagnostic.site -> (int * int) option) ->
+  Diagnostic.t list ->
+  Diagnostic.t list
+(** Deterministic print order: positioned findings first by
+    (line, col), the rest in component-major site order, ties broken
+    by the stable pass id. *)
+
 val pp_report :
   ?resolve:(Diagnostic.site -> string option) ->
+  ?pos:(Diagnostic.site -> (int * int) option) ->
   Network.t ->
   Format.formatter ->
   Diagnostic.t list ->
   unit
-(** One finding per line (sorted) followed by an
-    [N errors, N warnings, N info] summary line. *)
+(** One finding per line (in {!output_order}) followed by an
+    [N errors, N warnings, N info, N hints] summary line. *)
+
+val to_json :
+  ?resolve:(Diagnostic.site -> string option) ->
+  ?pos:(Diagnostic.site -> (int * int) option) ->
+  Network.t ->
+  Diagnostic.t list ->
+  string
+(** Machine-readable report:
+    [{"findings": [{"severity", "pass", "site", "position"?,
+    "message", "fix"?}, ...], "summary": {...}}], findings in
+    {!output_order}. *)

@@ -39,6 +39,7 @@ val wcrt :
   ?order:Reach.order ->
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
+  ?bounds:Reach.bounds ->
   Sysmodel.t ->
   scenario:string ->
   requirement:string ->
@@ -66,6 +67,7 @@ val check_budgets :
   ?order:Ita_mc.Reach.order ->
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
+  ?bounds:Reach.bounds ->
   Sysmodel.t ->
   budget_report list
 (** The paper's framing — "does the product work, given a set of hard

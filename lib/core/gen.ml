@@ -554,7 +554,36 @@ let measuring_variant b ~scen_name (env : env_auto) ~obs_clock ~to_chan
   in
   let n_locs = List.length env.env_locations in
   let seen = n_locs in
-  let ret = int_var "ret" ~lo:0 ~hi:(max 0 (n_locs - 1)) ~init:0 in
+  (* Locations at which a response can be observed: the forward closure,
+     along the environment's own edges, of the emitting edges'
+     destinations.  A response is only ever in flight after an emit, and
+     the closure is forward-closed, so outside it the observer's receive
+     edges can never fire and [ret] can never hold those values — declare
+     it with exactly the closure's range and skip the dead edges. *)
+  let observable =
+    let reach = Array.make n_locs false in
+    let rec visit l =
+      if not reach.(l) then begin
+        reach.(l) <- true;
+        List.iter
+          (fun { e; _ } -> if e.Automaton.src = l then visit e.Automaton.dst)
+          env.env_edges
+      end
+    in
+    List.iter
+      (fun { e; emits } -> if emits then visit e.Automaton.dst)
+      env.env_edges;
+    reach
+  in
+  let observable_locs =
+    List.filter (fun l -> observable.(l)) (List.init n_locs Fun.id)
+  in
+  let ret_lo, ret_hi =
+    match observable_locs with
+    | [] -> (0, 0) (* nothing emits: the observer is inert *)
+    | l :: rest -> (l, List.fold_left max l rest)
+  in
+  let ret = int_var "ret" ~lo:ret_lo ~hi:ret_hi ~init:ret_lo in
   let bump_counts =
     Update.incr cp_to.n
     @ (match cp_from with Some cp -> Update.incr cp.n | None -> Update.none)
@@ -586,20 +615,21 @@ let measuring_variant b ~scen_name (env : env_auto) ~obs_clock ~to_chan
       env.env_edges
   in
   let observation_edges =
-    List.concat
-      (List.init n_locs (fun l ->
-           response_edges l to_chan cp_to
-             ~hit:(Update.set ret (Expr.Int l))
-             ~hit_dst:seen
-           @
-           match (from_chan, cp_from) with
-           | Some fc, Some cp ->
-               response_edges l fc cp ~hit:(Update.reset obs_clock) ~hit_dst:l
-           | None, None -> []
-           | Some _, None | None, Some _ -> assert false))
+    List.concat_map
+      (fun l ->
+        response_edges l to_chan cp_to
+          ~hit:(Update.set ret (Expr.Int l))
+          ~hit_dst:seen
+        @
+        match (from_chan, cp_from) with
+        | Some fc, Some cp ->
+            response_edges l fc cp ~hit:(Update.reset obs_clock) ~hit_dst:l
+        | None, None -> []
+        | Some _, None | None, Some _ -> assert false)
+      observable_locs
   in
   let return_edges =
-    List.init n_locs (fun l -> edge seen l ~guard:(var_eq ret l))
+    List.map (fun l -> edge seen l ~guard:(var_eq ret l)) observable_locs
   in
   {
     env_locations =

@@ -15,7 +15,7 @@ let dir t = t.dir
 
 (* bump when Job.result or the key fields change shape: old entries
    become misses *)
-let version = "ita-dse-v2"
+let version = "ita-dse-v3"
 
 let job_key (spec : Job.spec) =
   let b = spec.Job.budget in
@@ -34,6 +34,9 @@ let job_key (spec : Job.spec) =
             (match b.Job.mc_abstraction with
             | Ita_mc.Reach.ExtraM -> "extram"
             | Ita_mc.Reach.ExtraLU -> "extralu");
+            (match b.Job.mc_bounds with
+            | Ita_mc.Reach.Static -> "static"
+            | Ita_mc.Reach.Flow -> "flow");
             string_of_int b.Job.sim_runs;
             string_of_int b.Job.sim_horizon_us;
           ]))

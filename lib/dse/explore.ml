@@ -41,7 +41,10 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
   (* lint pre-flight: a candidate whose generated network carries an
      error-severity finding would only waste worker time (or worse,
      crash mid-exploration on an out-of-range update), so screen it
-     out before any job is scheduled *)
+     out before any job is scheduled.  The semantic passes reject at
+     warning too: a dead edge or a write-write sync race on a
+     *generated* network means the candidate's model is broken at the
+     generator level, not merely suspicious. *)
   let rejection (c : Space.candidate) =
     match Gen.generate c.Space.sys with
     | exception e -> Some (Printexc.to_string e)
@@ -49,7 +52,10 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
         match
           List.filter
             (fun (d : Ita_analysis.Diagnostic.t) ->
-              d.Ita_analysis.Diagnostic.severity = Ita_analysis.Diagnostic.Error)
+              let module D = Ita_analysis.Diagnostic in
+              d.D.severity = D.Error
+              || (D.compare_severity d.D.severity D.Warning >= 0
+                 && List.mem d.D.pass [ D.Dead_edge; D.Sync_write_race ]))
             (Ita_analysis.Lint.run gen.Gen.net)
         with
         | [] -> None

@@ -23,6 +23,7 @@ type budget = {
   mc_states : int option;
   mc_seconds : float option;
   mc_abstraction : Reach.abstraction;
+  mc_bounds : Reach.bounds;
   sim_runs : int;
   sim_horizon_us : int;
 }
@@ -32,6 +33,7 @@ let default_budget =
     mc_states = None;
     mc_seconds = None;
     mc_abstraction = Reach.ExtraLU;
+    mc_bounds = Reach.Flow;
     sim_runs = 5;
     sim_horizon_us = 30_000_000;
   }
@@ -70,8 +72,9 @@ let run_mc spec =
     }
   in
   match
-    Wcrt.sup ~budget ~abstraction:spec.budget.mc_abstraction gen.Gen.net
-      ~at:obs.Gen.seen ~clock:obs.Gen.obs_clock
+    Wcrt.sup ~budget ~abstraction:spec.budget.mc_abstraction
+      ~bounds:spec.budget.mc_bounds gen.Gen.net ~at:obs.Gen.seen
+      ~clock:obs.Gen.obs_clock
   with
   | Wcrt.Sup { value; kind = _; stats } ->
       { measure = Exact value; elapsed = stats.Reach.elapsed; explored = stats.Reach.explored }

@@ -21,13 +21,15 @@ type budget = {
   mc_seconds : float option;  (** wall-clock cap for the exploration *)
   mc_abstraction : Ita_mc.Reach.abstraction;
       (** zone abstraction for the exploration *)
+  mc_bounds : Ita_mc.Reach.bounds;
+      (** extrapolation-bound source (flow-refined or static) *)
   sim_runs : int;  (** simulation seeds *)
   sim_horizon_us : int;  (** simulated time per seed *)
 }
 
 val default_budget : budget
-(** Unlimited model checking under Extra+LU; 5 simulation seeds of
-    30 s each. *)
+(** Unlimited model checking under Extra+LU with flow-refined bounds;
+    5 simulation seeds of 30 s each. *)
 
 type spec = {
   sys : Sysmodel.t;

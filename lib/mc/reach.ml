@@ -24,6 +24,7 @@ let combine a b =
 
 type abstraction = Semantics.abstraction = ExtraM | ExtraLU
 type reduction = Semantics.reduction = None | Active
+type bounds = Static | Flow
 
 type stats = {
   explored : int;
@@ -39,14 +40,82 @@ type outcome =
   | Unreachable of stats
   | Budget_exhausted of stats
 
-module State_key = struct
-  type t = Semantics.state
+(* Discrete states are interned under a packed key: locations and
+   variables bit-packed into a short int array, each variable in
+   exactly the bits its (declared or flow-inferred) range needs.  The
+   packing is injective over in-range states, so exploration counts are
+   independent of the bound source; a value outside its inferred range
+   — impossible if the dataflow analysis is sound, since the runtime
+   already confines variables to their declared ranges — fails fast
+   rather than corrupting the passed list. *)
+module Packed_key = struct
+  type t = int array
 
-  let equal = Semantics.state_equal
-  let hash = Semantics.state_hash
+  let equal = (( = ) : int array -> int array -> bool)
+  let hash (a : int array) = Hashtbl.hash a
 end
 
-module H = Hashtbl.Make (State_key)
+module H = Hashtbl.Make (Packed_key)
+
+let bits_needed n =
+  let rec go b v = if v = 0 then b else go (b + 1) (v lsr 1) in
+  go 0 n
+
+let make_packer (net : Network.t) ranges =
+  let nc = Array.length net.Network.automata in
+  let nv = Array.length ranges in
+  let loc_bits =
+    Array.map
+      (fun (a : Automaton.t) ->
+        bits_needed (Array.length a.Automaton.locations - 1))
+      net.Network.automata
+  in
+  let var_bits = Array.map (fun (lo, hi) -> bits_needed (hi - lo)) ranges in
+  (* fields never straddle a word boundary, so the word count must come
+     from the same greedy layout the packer uses, not from ceil(total/62) *)
+  let words =
+    let word = ref 0 and used = ref 0 in
+    let account bits =
+      if bits > 0 then begin
+        if !used + bits > 62 then begin
+          incr word;
+          used := 0
+        end;
+        used := !used + bits
+      end
+    in
+    Array.iter account loc_bits;
+    Array.iter account var_bits;
+    !word + 1
+  in
+  fun (st : Semantics.state) ->
+    let out = Array.make words 0 in
+    let word = ref 0 and used = ref 0 in
+    let push bits v =
+      if bits > 0 then begin
+        if !used + bits > 62 then begin
+          incr word;
+          used := 0
+        end;
+        out.(!word) <- out.(!word) lor (v lsl !used);
+        used := !used + bits
+      end
+    in
+    for i = 0 to nc - 1 do
+      push loc_bits.(i) st.Semantics.locs.(i)
+    done;
+    for v = 0 to nv - 1 do
+      let lo, hi = ranges.(v) in
+      let x = st.Semantics.env.(v) in
+      if x < lo || x > hi then
+        failwith
+          (Printf.sprintf
+             "Reach: variable %s = %d escapes its inferred range [%d, %d] \
+              (dataflow soundness violation)"
+             net.Network.var_names.(v) x lo hi);
+      push var_bits.(v) (x - lo)
+    done;
+    out
 
 (* One zone of the passed list.  [gen] is bumped whenever the antichain
    prunes the slot, so a waiting-list entry can compare it against the
@@ -67,12 +136,12 @@ type entry = {
   mutable len : int;
 }
 
-let entry_of passed (st : Semantics.state) =
-  match H.find_opt passed st with
+let entry_of passed key (st : Semantics.state) =
+  match H.find_opt passed key with
   | Some e -> e
   | None ->
       let e = { canon = st; slots = [||]; len = 0 } in
-      H.add passed st e;
+      H.add passed key e;
       e
 
 let subsumed_in e (z : Dbm.t) =
@@ -149,8 +218,22 @@ type engine_result =
    goal checking happens at state creation time so that counterexamples
    are found as early as possible (UPPAAL does the same). *)
 let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
-    ?(reduction = Active) net ~goal ~on_store () : engine_result =
+    ?(reduction = Active) ?(bounds = Flow) net ~goal ~on_store () :
+    engine_result =
   let t0 = Unix.gettimeofday () in
+  (* the dataflow analysis tightens the per-location L/U clock bounds
+     (read by [Semantics.extrapolate]) and shrinks the variable ranges
+     the packed state key allots bits to; [Static] keeps the builder's
+     one-shot bounds and the declared ranges as a differential oracle *)
+  let net, ranges =
+    match bounds with
+    | Static -> (net, net.Network.var_ranges)
+    | Flow ->
+        let fa = Ita_analysis.Flow.analyze net in
+        ( Ita_analysis.Flow.refine_lu fa net,
+          Ita_analysis.Flow.global_ranges fa )
+  in
+  let pack = make_packer net ranges in
   let nodes : node Vec.t = Vec.create () in
   let passed = H.create 4096 in
   let waiting = make_waiting order in
@@ -189,7 +272,7 @@ let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
         in
         raise (Found (id, gz))
     | None ->
-        let e = entry_of passed c.Semantics.state in
+        let e = entry_of passed (pack c.Semantics.state) c.Semantics.state in
         if not (subsumed_in e c.Semantics.zone) then begin
           (* intern the discrete state: revisits of this entry now share
              it physically, so equality short-circuits on [==] *)
@@ -240,7 +323,7 @@ let witness_of nodes id =
   in
   go id []
 
-let reach ?order ?budget ?abstraction ?reduction net (q : Query.t) =
+let reach ?order ?budget ?abstraction ?reduction ?bounds net (q : Query.t) =
   let net =
     List.fold_left
       (fun net (x, c) -> Network.bump_clock_bound net x c)
@@ -251,7 +334,7 @@ let reach ?order ?budget ?abstraction ?reduction net (q : Query.t) =
     Semantics.zone_of_goal net c q.Query.guard ~comp_locs:q.Query.comp_locs
   in
   match
-    run ?order ?budget ?abstraction ?reduction net ~goal
+    run ?order ?budget ?abstraction ?reduction ?bounds net ~goal
       ~on_store:(fun _ -> ())
       ()
   with
@@ -260,15 +343,15 @@ let reach ?order ?budget ?abstraction ?reduction net (q : Query.t) =
   | Space_exhausted stats -> Unreachable stats
   | Out_of_budget stats -> Budget_exhausted stats
 
-let explore ?order ?budget ?abstraction ?reduction ?(extra_bounds = []) net
-    ~on_store =
+let explore ?order ?budget ?abstraction ?reduction ?bounds
+    ?(extra_bounds = []) net ~on_store =
   let net =
     List.fold_left
       (fun net (x, c) -> Network.bump_clock_bound net x c)
       net extra_bounds
   in
   match
-    run ?order ?budget ?abstraction ?reduction net
+    run ?order ?budget ?abstraction ?reduction ?bounds net
       ~goal:(fun _ -> Option.None)
       ~on_store ()
   with

@@ -23,6 +23,18 @@ type reduction = Semantics.reduction = None | Active
         differential-testing oracle and for state-space measurements
         of the reduction itself. *)
 
+type bounds = Static | Flow
+    (** Source of the per-location L/U extrapolation bounds and of the
+        variable ranges behind the packed passed-list key.  [Flow]
+        (the default everywhere) runs the abstract-interpretation
+        dataflow analysis ({!Ita_analysis.Flow}) first: clock bounds
+        are recomputed over the live control flow with guard constants
+        evaluated under the inferred intervals (never looser than the
+        builder's), and each variable is packed into exactly its
+        inferred range.  [Static] keeps the builder's one-shot bounds
+        and the declared ranges — the differential-testing oracle and
+        the "flow off" column of the benchmark. *)
+
 type budget = { max_states : int option; max_seconds : float option }
 
 val no_budget : budget
@@ -61,6 +73,7 @@ val reach :
   ?budget:budget ->
   ?abstraction:abstraction ->
   ?reduction:reduction ->
+  ?bounds:bounds ->
   Network.t ->
   Query.t ->
   outcome
@@ -75,6 +88,7 @@ val explore :
   ?budget:budget ->
   ?abstraction:abstraction ->
   ?reduction:reduction ->
+  ?bounds:bounds ->
   ?extra_bounds:(Guard.clock * int) list ->
   Network.t ->
   on_store:(Semantics.config -> unit) ->

@@ -17,8 +17,8 @@ let goal_sup net (q : Query.t) clock (c : Semantics.config) =
   | None -> None
   | Some z -> Some (Dbm.sup z clock)
 
-let sup ?order ?budget ?abstraction ?reduction ?(initial_ceiling = 1_000_000)
-    ?(max_ceiling = 1 lsl 40) net ~at ~clock =
+let sup ?order ?budget ?abstraction ?reduction ?bounds
+    ?(initial_ceiling = 1_000_000) ?(max_ceiling = 1 lsl 40) net ~at ~clock =
   let rec attempt ceiling =
     let best = ref None in
     let improve b =
@@ -33,8 +33,8 @@ let sup ?order ?budget ?abstraction ?reduction ?(initial_ceiling = 1_000_000)
     in
     let extra_bounds = (clock, ceiling) :: Query.clock_constants net at in
     let result =
-      Reach.explore ?order ?budget ?abstraction ?reduction ~extra_bounds net
-        ~on_store
+      Reach.explore ?order ?budget ?abstraction ?reduction ?bounds
+        ~extra_bounds net ~on_store
     in
     let observed () =
       match !best with
@@ -71,12 +71,13 @@ type search_result = {
   total_elapsed : float;
 }
 
-let check ?order ?budget ?abstraction ?reduction net (at : Query.t) clock c =
+let check ?order ?budget ?abstraction ?reduction ?bounds net (at : Query.t)
+    clock c =
   let q = Query.with_guard at (Guard.clock_ge clock c) in
-  Reach.reach ?order ?budget ?abstraction ?reduction net q
+  Reach.reach ?order ?budget ?abstraction ?reduction ?bounds net q
 
-let binary_search ?order ?budget ?abstraction ?reduction ?(hi = 1_000_000) net
-    ~at ~clock =
+let binary_search ?order ?budget ?abstraction ?reduction ?bounds
+    ?(hi = 1_000_000) net ~at ~clock =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
     incr runs;
@@ -94,7 +95,7 @@ let binary_search ?order ?budget ?abstraction ?reduction ?(hi = 1_000_000) net
   in
   let exception Stop of search_result in
   let test c =
-    match check ?order ?budget ?abstraction ?reduction net at clock c with
+    match check ?order ?budget ?abstraction ?reduction ?bounds net at clock c with
     | Reach.Reachable { stats; _ } ->
         note stats;
         `Reachable
@@ -139,8 +140,8 @@ let binary_search ?order ?budget ?abstraction ?reduction ?(hi = 1_000_000) net
     result (Some !lo) (Some !up)
   with Stop r -> r
 
-let probe_lower ?order ?abstraction ?reduction net ~at ~clock ~budget ~start
-    ~step =
+let probe_lower ?order ?abstraction ?reduction ?bounds net ~at ~clock ~budget
+    ~start ~step =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
     incr runs;
@@ -151,7 +152,7 @@ let probe_lower ?order ?abstraction ?reduction net ~at ~clock ~budget ~start
   let c = ref start in
   let continue = ref true in
   while !continue do
-    match check ?order ?abstraction ?reduction ~budget net at clock !c with
+    match check ?order ?abstraction ?reduction ?bounds ~budget net at clock !c with
     | Reach.Reachable { stats; _ } ->
         note stats;
         lower := Some !c;

@@ -37,6 +37,7 @@ val sup :
   ?budget:Reach.budget ->
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
+  ?bounds:Reach.bounds ->
   ?initial_ceiling:int ->
   ?max_ceiling:int ->
   Network.t ->
@@ -62,6 +63,7 @@ val binary_search :
   ?budget:Reach.budget ->
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
+  ?bounds:Reach.bounds ->
   ?hi:int ->
   Network.t ->
   at:Query.t ->
@@ -75,6 +77,7 @@ val probe_lower :
   ?order:Reach.order ->
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
+  ?bounds:Reach.bounds ->
   Network.t ->
   at:Query.t ->
   clock:Guard.clock ->

@@ -93,8 +93,23 @@ let test_range_overflow () =
   (* v := 5 with v : [0, 3] can never stay in range: an error *)
   let definite = overflow_net (fun _ -> Expr.Int 5) in
   check_pass ~severity:D.Error "definite" D.Range_overflow (Lint.run definite);
-  (* v := v + 1 encloses to [1, 4]: only possibly out of range *)
-  let possible = overflow_net (fun v -> Expr.(Add (Var v, Int 1))) in
+  (* v := v + 1 straight from the initial valuation: the interval
+     analysis knows v = 0 there, so the update provably stays in
+     range — the old declared-range scan used to flag this *)
+  let tightened = overflow_net (fun v -> Expr.(Add (Var v, Int 1))) in
+  check_no_pass "flow-tightened" D.Range_overflow (Lint.run tightened);
+  (* v := v + 1 on a loop: v really does range over [0, 3] at the
+     source, so the enclosure [1, 4] is possibly out of range *)
+  let possible =
+    let b = Network.Builder.create () in
+    let v = Network.Builder.int_var b "v" ~lo:0 ~hi:3 ~init:0 in
+    Network.Builder.add_automaton b
+      (Automaton.make ~name:"P" ~locations:[ loc "L0" ]
+         ~edges:
+           [ edge 0 0 ~update:(Update.set v Expr.(Add (Var v, Int 1))) ]
+         ~initial:0);
+    Network.Builder.build b
+  in
   check_pass ~severity:D.Info "possible" D.Range_overflow (Lint.run possible);
   (* v := v with v : [0, 3] stays in range *)
   let clean = overflow_net (fun v -> Expr.Var v) in
