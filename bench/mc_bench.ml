@@ -44,6 +44,12 @@ let run_of_stats (s : Reach.stats) result =
     result;
   }
 
+type par_run = {
+  par_domains : int;
+  par_steals : int;
+  par : run;
+}
+
 type cell = {
   name : string;
   kind : string;
@@ -51,7 +57,32 @@ type cell = {
   extralu : run;
   extralu_nored : run;  (* Extra+LU with ~reduction:None *)
   extralu_noflow : run;  (* Extra+LU with ~bounds:Static *)
+  parallel : par_run option;
+      (* Extra+LU re-run on the parallel engine; only computed on
+         multi-core hosts and only for cells big enough to amortize
+         the domain-spawn overhead, so the speedup column never
+         reports noise *)
 }
+
+(* every baseline column is pinned to the sequential engine so the
+   explored counts stay comparable across machines and TAMC_DOMAINS
+   settings; the parallel engine gets its own gated column *)
+let bench_par_domains =
+  (* BENCH_PAR_DOMAINS forces the worker count (>= 2) or disables the
+     column (0 or 1); unset, multi-core hosts get min(4, cores) *)
+  match Sys.getenv_opt "BENCH_PAR_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 2 -> Some n
+      | Some _ | None -> None)
+  | None ->
+      let cores = Domain.recommended_domain_count () in
+      if cores >= 2 then Some (min 4 cores) else None
+
+let par_min_seq_elapsed = 0.5
+(* seconds of sequential Extra+LU work below which the parallel rerun
+   is skipped: the ~10 s cv/ChangeVolume cells are the ones meant to
+   scale with cores *)
 
 (* ------------------------------------------------------------------ *)
 (* Radio-navigation cells: the paper's WCRT sup-queries               *)
@@ -63,29 +94,42 @@ let radionav_cell (row : R.row) column =
   let req = Scenario.requirement s row.R.requirement in
   let gen = Gen.generate ~measure:(row.R.scenario, req) sys in
   let obs = Option.get gen.Gen.observer in
-  let sup ?reduction ?bounds abstraction =
+  let sup_stats ?(domains = 1) ?reduction ?bounds abstraction =
     match
-      Wcrt.sup ~abstraction ?reduction ?bounds gen.Gen.net ~at:obs.Gen.seen
-        ~clock:obs.Gen.obs_clock
+      Wcrt.sup ~abstraction ~domains ?reduction ?bounds gen.Gen.net
+        ~at:obs.Gen.seen ~clock:obs.Gen.obs_clock
     with
     | Wcrt.Sup { value; stats; _ } ->
-        run_of_stats stats (Printf.sprintf "wcrt=%d" value)
-    | Wcrt.Goal_unreachable stats -> run_of_stats stats "unreachable"
-    | Wcrt.Sup_budget_exhausted { stats; _ } -> run_of_stats stats "budget"
-    | Wcrt.Sup_unbounded { stats; _ } -> run_of_stats stats "unbounded"
+        (run_of_stats stats (Printf.sprintf "wcrt=%d" value), stats)
+    | Wcrt.Goal_unreachable stats -> (run_of_stats stats "unreachable", stats)
+    | Wcrt.Sup_budget_exhausted { stats; _ } ->
+        (run_of_stats stats "budget", stats)
+    | Wcrt.Sup_unbounded { stats; _ } -> (run_of_stats stats "unbounded", stats)
+  in
+  let sup ?reduction ?bounds abstraction =
+    fst (sup_stats ?reduction ?bounds abstraction)
   in
   let name =
     Printf.sprintf "%s/%s/%s [%s]"
       (match row.R.combo with R.Cv_tmc -> "cv" | R.Al_tmc -> "al")
       row.R.scenario row.R.requirement (R.column_name column)
   in
+  let extralu = sup Reach.ExtraLU in
+  let parallel =
+    match bench_par_domains with
+    | Some d when extralu.elapsed >= par_min_seq_elapsed ->
+        let run, stats = sup_stats ~domains:d Reach.ExtraLU in
+        Some { par_domains = d; par_steals = stats.Reach.steals; par = run }
+    | Some _ | None -> None
+  in
   {
     name;
     kind = "radionav";
     extram = sup Reach.ExtraM;
-    extralu = sup Reach.ExtraLU;
+    extralu;
     extralu_nored = sup ~reduction:Reach.None Reach.ExtraLU;
     extralu_noflow = sup ~bounds:Reach.Static Reach.ExtraLU;
+    parallel;
   }
 
 let radionav_cells () =
@@ -184,20 +228,33 @@ let sporadic_family n =
 
 let sporadic_cell n =
   let net = sporadic_family n in
-  let explore ?reduction ?bounds abstraction =
+  let explore_stats ?(domains = 1) ?reduction ?bounds abstraction =
     match
-      Reach.explore ~abstraction ?reduction ?bounds net ~on_store:(fun _ -> ())
+      Reach.explore ~abstraction ~domains ?reduction ?bounds net
+        ~on_store:(fun _ -> ())
     with
-    | `Complete stats -> run_of_stats stats "complete"
-    | `Budget_exhausted stats -> run_of_stats stats "budget"
+    | `Complete stats -> (run_of_stats stats "complete", stats)
+    | `Budget_exhausted stats -> (run_of_stats stats "budget", stats)
+  in
+  let explore ?reduction ?bounds abstraction =
+    fst (explore_stats ?reduction ?bounds abstraction)
+  in
+  let extralu = explore Reach.ExtraLU in
+  let parallel =
+    match bench_par_domains with
+    | Some d when extralu.elapsed >= par_min_seq_elapsed ->
+        let run, stats = explore_stats ~domains:d Reach.ExtraLU in
+        Some { par_domains = d; par_steals = stats.Reach.steals; par = run }
+    | Some _ | None -> None
   in
   {
     name = Printf.sprintf "sporadic %d" n;
     kind = "synthetic";
     extram = explore Reach.ExtraM;
-    extralu = explore Reach.ExtraLU;
+    extralu;
     extralu_nored = explore ~reduction:Reach.None Reach.ExtraLU;
     extralu_noflow = explore ~bounds:Reach.Static Reach.ExtraLU;
+    parallel;
   }
 
 let ring_cells () =
@@ -230,7 +287,7 @@ let json_cell buf c =
   in
   Buffer.add_string buf
     (Printf.sprintf
-       {|    {"name": %S, "kind": %S, "results_match": %b, "explored_ratio": %.4f, "reduction_results_match": %b, "reduction_explored_ratio": %.4f, "flow_results_match": %b, "flow_bounds_explored_ratio": %.4f, "extram": |}
+       {|    {"name": %S, "kind": %S, "results_match": %b, "explored_ratio": %.4f, "reduction_results_match": %b, "reduction_explored_ratio": %.4f, "flow_results_match": %b, "flow_bounds_explored_ratio": %.4f, |}
        c.name c.kind
        (c.extram.result = c.extralu.result)
        ratio
@@ -238,6 +295,22 @@ let json_cell buf c =
        red_ratio
        (c.extralu.result = c.extralu_noflow.result)
        flow_ratio);
+  (match c.parallel with
+  | None ->
+      Buffer.add_string buf
+        {|"par_domains": null, "par_speedup": null, "par_results_match": null, |}
+  | Some p ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|"par_domains": %d, "par_speedup": %.4f, "par_results_match": %b, "par_steals": %d, "par": |}
+           p.par_domains
+           (if p.par.elapsed > 0. then c.extralu.elapsed /. p.par.elapsed
+            else 1.0)
+           (c.extralu.result = p.par.result)
+           p.par_steals);
+      json_run buf p.par;
+      Buffer.add_string buf ", ");
+  Buffer.add_string buf {|"extram": |};
   json_run buf c.extram;
   Buffer.add_string buf {|, "extralu": |};
   json_run buf c.extralu;
@@ -265,6 +338,14 @@ let () =
   let flow_regressions =
     List.filter (fun c -> c.extralu.explored > c.extralu_noflow.explored) cells
   in
+  let par_mismatches =
+    List.filter
+      (fun c ->
+        match c.parallel with
+        | Some p -> c.extralu.result <> p.par.result
+        | None -> false)
+      cells
+  in
   List.iter
     (fun c ->
       Printf.printf
@@ -276,8 +357,26 @@ let () =
         (if c.extram.explored = 0 then 1.0
          else float_of_int c.extralu.explored /. float_of_int c.extram.explored)
         (if c.extram.result = c.extralu.result then c.extram.result
-         else Printf.sprintf "MISMATCH %s vs %s" c.extram.result c.extralu.result))
+         else Printf.sprintf "MISMATCH %s vs %s" c.extram.result c.extralu.result);
+      match c.parallel with
+      | None -> ()
+      | Some p ->
+          Printf.printf
+            "%-40s par x%d  %.2fs -> %.2fs  speedup %.2f  steals %d  [%s]\n%!"
+            "" p.par_domains c.extralu.elapsed p.par.elapsed
+            (if p.par.elapsed > 0. then c.extralu.elapsed /. p.par.elapsed
+             else 1.0)
+            p.par_steals
+            (if p.par.result = c.extralu.result then "match"
+             else
+               Printf.sprintf "MISMATCH %s vs %s" c.extralu.result p.par.result))
     cells;
+  (match bench_par_domains with
+  | None ->
+      Printf.printf
+        "parallel column skipped: single-core host (speedup would be noise)\n%!"
+  | Some d ->
+      Printf.printf "parallel column: %d domains on eligible cells\n%!" d);
   let po_cells = List.filter (fun c -> c.kind = "radionav") cells in
   let total l f = List.fold_left (fun a c -> a + f c) 0 l in
   let ratio_of l =
@@ -351,5 +450,11 @@ let () =
     Printf.eprintf
       "ERROR: %d cells explore MORE states with flow-refined bounds\n"
       (List.length flow_regressions);
+    exit 1
+  end;
+  if par_mismatches <> [] then begin
+    Printf.eprintf
+      "ERROR: %d cells disagree between the sequential and parallel engines\n"
+      (List.length par_mismatches);
     exit 1
   end

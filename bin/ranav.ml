@@ -116,12 +116,22 @@ let budget_arg =
     & opt (some int) None
     & info [ "budget-states" ] ~doc:"state budget for structured testing")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~doc:
+          "worker domains for the zone exploration (default: the \
+           TAMC_DOMAINS environment variable, else the machine's core \
+           count); 1 selects the sequential engine")
+
 (* ------------------------------------------------------------------ *)
 (* wcrt                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let run_wcrt combo column scenario requirement order seed budget probe_start_ms
-    abstraction bounds =
+    abstraction bounds domains =
   let order = seeded_order order seed in
   let sys = R.system combo column in
   let method_ =
@@ -137,7 +147,8 @@ let run_wcrt combo column scenario requirement order seed budget probe_start_ms
           }
   in
   let r =
-    Analyze.wcrt ~method_ ~order ~abstraction ~bounds sys ~scenario ~requirement
+    Analyze.wcrt ~method_ ~order ~abstraction ~bounds ?domains sys ~scenario
+      ~requirement
   in
   Format.printf "%s %s/%s [%s]: uncontended %a ms, wcrt %a ms (%d states, %.2fs)@."
     (match combo with R.Cv_tmc -> "cv" | R.Al_tmc -> "al")
@@ -161,7 +172,7 @@ let wcrt_cmd =
     Term.(
       const run_wcrt $ combo_arg $ column_arg $ scenario $ requirement
       $ order_arg $ seed_arg $ budget_arg $ probe_start $ abstraction_arg
-      $ bounds_arg)
+      $ bounds_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -455,7 +466,8 @@ let technique_conv =
 
 let run_explore combo column scenario requirement techniques mmi_mips rad_mips
     nav_mips bus_kbps decode_on jobs timeout_s cache_dir no_cache mc_states
-    mc_seconds mc_abstraction mc_bounds sim_runs sim_horizon_s inject_crash =
+    mc_seconds mc_abstraction mc_bounds mc_domains sim_runs sim_horizon_s
+    inject_crash isolation =
   let open Ita_dse in
   let space =
     Spaces.radionav ~combo ~column ~mmi_mips ~rad_mips ~nav_mips ~bus_kbps
@@ -468,13 +480,14 @@ let run_explore combo column scenario requirement techniques mmi_mips rad_mips
       mc_seconds;
       mc_abstraction;
       mc_bounds;
+      mc_domains;
       sim_runs;
       sim_horizon_us = int_of_float (sim_horizon_s *. 1e6);
     }
   in
   let report =
-    Explore.run ?jobs ?timeout_s ?cache ~budget ?inject_crash space ~techniques
-      ~scenario ~requirement
+    Explore.run ?isolation ?jobs ?timeout_s ?cache ~budget ?inject_crash space
+      ~techniques ~scenario ~requirement
   in
   Format.printf "%a@." Explore.pp report
 
@@ -556,6 +569,40 @@ let explore_cmd =
           ~doc:"(fault injection) kill the worker of flat job $(docv)"
           ~docv:"N")
   in
+  let mc_domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mc-domains" ]
+          ~doc:
+            "worker domains inside each model-checking job (default: 1 \
+             under --isolation domains, engine default otherwise)")
+  in
+  let isolation =
+    let isolation_conv =
+      let parse = function
+        | "auto" -> Ok None
+        | "fork" -> Ok (Some `Processes)
+        | "domains" -> Ok (Some `Domains)
+        | s ->
+            Error (`Msg (Printf.sprintf "unknown isolation %S (auto/fork/domains)" s))
+      in
+      let print ppf = function
+        | None -> Format.pp_print_string ppf "auto"
+        | Some `Processes -> Format.pp_print_string ppf "fork"
+        | Some `Domains -> Format.pp_print_string ppf "domains"
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value & opt isolation_conv None
+      & info [ "isolation" ]
+          ~doc:
+            "job dispatch: fork (one child process per job; required for \
+             --timeout-s and --inject-crash), domains (one shared domain \
+             pool; --timeout-s is ignored), or auto (fork when a timeout \
+             or fault injection is requested, else domains)")
+  in
   (* the shared cv/pno defaults would make the exhaustive mc jobs hit
      the paper's state-explosion cells; default to the tractable
      AddressLookup/periodic-offset configuration instead *)
@@ -576,7 +623,8 @@ let explore_cmd =
       const run_explore $ combo $ column $ scenario $ requirement
       $ techniques $ mmi $ rad $ nav $ bus $ decode_on $ jobs $ timeout
       $ cache_dir $ no_cache $ mc_states $ mc_seconds $ abstraction_arg
-      $ bounds_arg $ sim_runs $ sim_horizon $ inject_crash)
+      $ bounds_arg $ mc_domains $ sim_runs $ sim_horizon $ inject_crash
+      $ isolation)
 
 (* ------------------------------------------------------------------ *)
 (* lint: static analysis of the generated networks                     *)

@@ -35,7 +35,7 @@ let load ?validate path =
   | Ita_ta.Network.Invalid_model m ->
       Error (Printf.sprintf "%s: invalid model: %s" path m)
 
-let run_check path order budget trace =
+let run_check path order budget trace domains =
   match load path with
   | Error m ->
       prerr_endline m;
@@ -59,7 +59,7 @@ let run_check path order budget trace =
                 Format.printf "query %d: deadlock ... @?" i;
                 let dead = ref None in
                 let result =
-                  Reach.explore ~order ~budget net
+                  Reach.explore ~order ~budget ?domains net
                     ~on_store:(fun cfg ->
                       if
                         !dead = None
@@ -80,7 +80,7 @@ let run_check path order budget trace =
             | E.Reach_q q -> (
                 Format.printf "query %d: reach %a ... @?" i
                   (Ita_mc.Query.pp net) q;
-                match Reach.reach ~order ~budget net q with
+                match Reach.reach ~order ~budget ?domains net q with
                 | Reach.Reachable { witness; stats; _ } ->
                     Format.printf "REACHABLE (%a)@." Reach.pp_stats stats;
                     if trace then Reach.pp_witness net Format.std_formatter witness
@@ -94,7 +94,7 @@ let run_check path order budget trace =
                 Format.printf "query %d: sup %s at %a ... @?" i
                   net.Ita_ta.Network.clock_names.(clock)
                   (Ita_mc.Query.pp net) at;
-                match Wcrt.sup ~order net ~at ~clock with
+                match Wcrt.sup ~order ?domains net ~at ~clock with
                 | Wcrt.Sup { value; kind; stats } ->
                     Format.printf "%d%s (%a)@." value
                       (match kind with
@@ -128,9 +128,19 @@ let check_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"print witness traces")
   in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ]
+          ~doc:
+            "worker domains for the exploration (default: the \
+             TAMC_DOMAINS environment variable, else the machine's core \
+             count); 1 selects the sequential engine")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"run the queries of a .ta file")
-    Term.(const run_check $ file_arg $ order $ budget $ trace)
+    Term.(const run_check $ file_arg $ order $ budget $ trace $ domains)
 
 let run_show path =
   match load path with

@@ -22,8 +22,8 @@ type result = {
   uncontended_us : int;
 }
 
-let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds sys
-    ~scenario ~requirement =
+let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds
+    ?domains sys ~scenario ~requirement =
   let s = Sysmodel.scenario sys scenario in
   let req = Scenario.requirement s requirement in
   let gen = Gen.generate ~measure:(scenario, req) sys in
@@ -39,7 +39,7 @@ let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds sys
     match method_ with
     | Exhaustive -> (
         match
-          Wcrt.sup ?order ?abstraction ?reduction ?bounds
+          Wcrt.sup ?order ?abstraction ?reduction ?bounds ?domains
             ~initial_ceiling:(max 4 (4 * uncontended_us))
             gen.Gen.net ~at ~clock
         with
@@ -58,8 +58,8 @@ let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds sys
         )
     | Binary { hi } -> (
         let r =
-          Wcrt.binary_search ?order ?abstraction ?reduction ?bounds ~hi
-            gen.Gen.net ~at ~clock
+          Wcrt.binary_search ?order ?abstraction ?reduction ?bounds ?domains
+            ~hi gen.Gen.net ~at ~clock
         in
         match (r.Wcrt.lower, r.Wcrt.upper) with
         | Some l, Some u when u = l + 1 ->
@@ -71,8 +71,8 @@ let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds sys
         )
     | Structured_testing { order; budget; start; step } -> (
         let r =
-          Wcrt.probe_lower ~order ?abstraction ?reduction ?bounds gen.Gen.net
-            ~at ~clock ~budget
+          Wcrt.probe_lower ~order ?abstraction ?reduction ?bounds ?domains
+            gen.Gen.net ~at ~clock ~budget
             ~start ~step
         in
         match r.Wcrt.lower with
@@ -96,7 +96,7 @@ type budget_report = {
   verdict : verdict;
 }
 
-let check_budgets ?method_ ?order ?abstraction ?reduction ?bounds
+let check_budgets ?method_ ?order ?abstraction ?reduction ?bounds ?domains
     (sys : Sysmodel.t) =
   List.concat_map
     (fun (s : Scenario.t) ->
@@ -106,8 +106,8 @@ let check_budgets ?method_ ?order ?abstraction ?reduction ?bounds
           | None -> None
           | Some budget ->
               let r =
-                wcrt ?method_ ?order ?abstraction ?reduction ?bounds sys
-                  ~scenario:s.Scenario.name
+                wcrt ?method_ ?order ?abstraction ?reduction ?bounds ?domains
+                  sys ~scenario:s.Scenario.name
                   ~requirement:req.Scenario.req_name
               in
               let verdict =

@@ -40,6 +40,7 @@ val wcrt :
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
+  ?domains:int ->
   Sysmodel.t ->
   scenario:string ->
   requirement:string ->
@@ -68,6 +69,7 @@ val check_budgets :
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
+  ?domains:int ->
   Sysmodel.t ->
   budget_report list
 (** The paper's framing — "does the product work, given a set of hard

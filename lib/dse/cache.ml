@@ -15,7 +15,7 @@ let dir t = t.dir
 
 (* bump when Job.result or the key fields change shape: old entries
    become misses *)
-let version = "ita-dse-v3"
+let version = "ita-dse-v4"
 
 let job_key (spec : Job.spec) =
   let b = spec.Job.budget in
@@ -37,6 +37,7 @@ let job_key (spec : Job.spec) =
             (match b.Job.mc_bounds with
             | Ita_mc.Reach.Static -> "static"
             | Ita_mc.Reach.Flow -> "flow");
+            opt string_of_int b.Job.mc_domains;
             string_of_int b.Job.sim_runs;
             string_of_int b.Job.sim_horizon_us;
           ]))

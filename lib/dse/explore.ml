@@ -21,12 +21,31 @@ type report = {
   failed : int;
   rejected : int;
   workers : int;
+  isolation : [ `Processes | `Domains ];
   wall_s : float;
 }
 
-let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
-    space ~techniques ~scenario ~requirement =
+let run ?isolation ?jobs ?timeout_s ?cache ?(budget = Job.default_budget)
+    ?inject_crash space ~techniques ~scenario ~requirement =
   if techniques = [] then invalid_arg "Explore.run: no techniques";
+  let isolation =
+    match isolation with
+    | Some i -> i
+    | None ->
+        (* per-job timeouts and fault injection need a killable child,
+           so those callers keep the forked pool; plain sweeps share
+           one domain pool and skip the fork/marshal tax *)
+        if timeout_s <> None || inject_crash <> None then `Processes
+        else `Domains
+  in
+  let budget =
+    match isolation with
+    | `Domains when budget.Job.mc_domains = None ->
+        (* the pool already parallelises across jobs; nested engine
+           parallelism would oversubscribe the cores *)
+        { budget with Job.mc_domains = Some 1 }
+    | _ -> budget
+  in
   let workers =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
@@ -108,8 +127,12 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
   let worker (flat, spec) =
     if inject_crash = Some flat then
       (* fault injection: die without a word, like a segfaulting or
-         OOM-killed worker would *)
-      Unix._exit 66;
+         OOM-killed worker would.  In a domain pool there is no child
+         process to kill, so the job raises and is recorded [Crashed]
+         without taking the sweep down. *)
+      (match isolation with
+      | `Processes -> Unix._exit 66
+      | `Domains -> failwith "injected crash");
     Job.run spec
   in
   let to_run_arr = Array.of_list to_run in
@@ -122,7 +145,11 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
         Cache.store ca (Cache.job_key spec) r
     | _ -> ()
   in
-  let outcomes = Pool.map ~jobs:workers ?timeout_s ~on_result worker to_run_arr in
+  let outcomes =
+    match isolation with
+    | `Processes -> Pool.map ~jobs:workers ?timeout_s ~on_result worker to_run_arr
+    | `Domains -> Pool.map_domains ~jobs:workers ~on_result worker to_run_arr
+  in
   let by_flat = Hashtbl.create 64 in
   List.iteri
     (fun i (flat, _) ->
@@ -184,6 +211,7 @@ let run ?jobs ?timeout_s ?cache ?(budget = Job.default_budget) ?inject_crash
     failed;
     rejected = List.length rejections;
     workers;
+    isolation;
     wall_s = Unix.gettimeofday () -. t0;
   }
 
@@ -267,9 +295,13 @@ let pp ppf report =
   Format.fprintf ppf " ==@,";
   Format.fprintf ppf
     "%d candidates x %d techniques = %d jobs: %d cached, %d executed (%d \
-     failed) on %d workers in %.2fs"
+     failed) on %d %s in %.2fs"
     n_cands n_tech (n_cands * n_tech) report.cache_hits report.executed
-    report.failed report.workers report.wall_s;
+    report.failed report.workers
+    (match report.isolation with
+    | `Processes -> "forked workers"
+    | `Domains -> "worker domains")
+    report.wall_s;
   if report.rejected > 0 then
     Format.fprintf ppf "@,%d candidate%s rejected by the lint pre-flight"
       report.rejected

@@ -24,6 +24,7 @@ type budget = {
   mc_seconds : float option;
   mc_abstraction : Reach.abstraction;
   mc_bounds : Reach.bounds;
+  mc_domains : int option;
   sim_runs : int;
   sim_horizon_us : int;
 }
@@ -34,6 +35,7 @@ let default_budget =
     mc_seconds = None;
     mc_abstraction = Reach.ExtraLU;
     mc_bounds = Reach.Flow;
+    mc_domains = None;
     sim_runs = 5;
     sim_horizon_us = 30_000_000;
   }
@@ -73,8 +75,8 @@ let run_mc spec =
   in
   match
     Wcrt.sup ~budget ~abstraction:spec.budget.mc_abstraction
-      ~bounds:spec.budget.mc_bounds gen.Gen.net ~at:obs.Gen.seen
-      ~clock:obs.Gen.obs_clock
+      ~bounds:spec.budget.mc_bounds ?domains:spec.budget.mc_domains gen.Gen.net
+      ~at:obs.Gen.seen ~clock:obs.Gen.obs_clock
   with
   | Wcrt.Sup { value; kind = _; stats } ->
       { measure = Exact value; elapsed = stats.Reach.elapsed; explored = stats.Reach.explored }

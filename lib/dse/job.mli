@@ -23,6 +23,11 @@ type budget = {
       (** zone abstraction for the exploration *)
   mc_bounds : Ita_mc.Reach.bounds;
       (** extrapolation-bound source (flow-refined or static) *)
+  mc_domains : int option;
+      (** worker domains inside one exploration ([None]: the engine
+          default, {!Ita_mc.Reach.default_domains}).  Sweeps running
+          jobs on a shared domain pool pin this to [1] so the pool's
+          parallelism is not multiplied by the engine's. *)
   sim_runs : int;  (** simulation seeds *)
   sim_horizon_us : int;  (** simulated time per seed *)
 }

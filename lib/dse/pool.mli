@@ -1,5 +1,6 @@
-(** A [Unix.fork]-based worker pool with per-job timeouts and crash
-    isolation.
+(** Worker pools for batch jobs: a [Unix.fork]-based pool with
+    per-job timeouts and crash isolation ({!map}), and an in-process
+    shared domain pool ({!map_domains}).
 
     Each job runs in its own forked child and reports its result back
     over a pipe (marshaled).  A child that diverges past the timeout
@@ -34,3 +35,16 @@ val map :
     job settles (in completion order) — the streaming hook used to
     persist results the moment they exist.  Results are unmarshaled
     from the child, so ['b] must be closure-free data. *)
+
+val map_domains :
+  ?jobs:int ->
+  ?on_result:(int -> 'b outcome -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array
+(** Like {!map} but on a pool of [jobs] worker domains inside this
+    process: no fork or marshal cost and results need not be
+    closure-free, at the price of no per-job timeout and no isolation
+    from fatal runtime errors.  An exception escaping [f] yields
+    [Crashed] for that job only ([Timed_out] never occurs).
+    [on_result] calls are serialised under a mutex. *)

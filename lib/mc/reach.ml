@@ -31,6 +31,8 @@ type stats = {
   stored : int;
   transitions : int;
   elapsed : float;
+  domains : int;
+  steals : int;
 }
 
 type step = { via : Semantics.label option; state : Semantics.state }
@@ -39,6 +41,18 @@ type outcome =
   | Reachable of { witness : step list; goal_zone : Dbm.t; stats : stats }
   | Unreachable of stats
   | Budget_exhausted of stats
+
+(* The number of worker domains when the caller does not say: the
+   TAMC_DOMAINS environment variable (so CI can force both engines over
+   the whole test suite) or the machine's core count.  [1] selects the
+   sequential engine. *)
+let default_domains () =
+  match Sys.getenv_opt "TAMC_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
+  | None -> max 1 (Domain.recommended_domain_count ())
 
 (* Discrete states are interned under a packed key: locations and
    variables bit-packed into a short int array, each variable in
@@ -120,7 +134,11 @@ let make_packer (net : Network.t) ranges =
 (* One zone of the passed list.  [gen] is bumped whenever the antichain
    prunes the slot, so a waiting-list entry can compare it against the
    generation it recorded when pushed — an O(1) liveness probe instead
-   of the old [List.memq] scan of the whole antichain. *)
+   of the old [List.memq] scan of the whole antichain.  In the parallel
+   engine the pop-time probe reads [gen] without the shard lock: a stale
+   read can only let an already-pruned zone be expanded once more, which
+   costs redundant work but never soundness (its successors are subsumed
+   by the pruner's). *)
 type slot = { zone : Dbm.t; mutable gen : int }
 
 let dead_slot = { zone = Dbm.zero 0; gen = -1 }
@@ -180,6 +198,12 @@ let store_in e (z : Dbm.t) resident =
   incr resident;
   s
 
+let dump_table passed acc =
+  H.fold
+    (fun _ e acc ->
+      (e.canon, List.init e.len (fun i -> e.slots.(i).zone)) :: acc)
+    passed acc
+
 type node = {
   config : Semantics.config;
   parent : int;  (* -1 for the root *)
@@ -208,31 +232,27 @@ let make_waiting order =
                 Some i);
       }
 
+(* Both engines report through this; the witness is materialised before
+   returning so the engines can use different node representations. *)
 type engine_result =
-  | Goal_found of node Vec.t * int * Dbm.t * stats
+  | Goal_found of step list * Dbm.t * stats
   | Space_exhausted of stats
   | Out_of_budget of stats
 
-(* Core loop shared by [reach] and [explore].  [goal] maps a fresh
-   configuration to its non-empty goal zone when it hits the target;
-   goal checking happens at state creation time so that counterexamples
-   are found as early as possible (UPPAAL does the same). *)
-let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
-    ?(reduction = Active) ?(bounds = Flow) net ~goal ~on_store () :
-    engine_result =
-  let t0 = Unix.gettimeofday () in
-  (* the dataflow analysis tightens the per-location L/U clock bounds
-     (read by [Semantics.extrapolate]) and shrinks the variable ranges
-     the packed state key allots bits to; [Static] keeps the builder's
-     one-shot bounds and the declared ranges as a differential oracle *)
-  let net, ranges =
-    match bounds with
-    | Static -> (net, net.Network.var_ranges)
-    | Flow ->
-        let fa = Ita_analysis.Flow.analyze net in
-        ( Ita_analysis.Flow.refine_lu fa net,
-          Ita_analysis.Flow.global_ranges fa )
+let witness_of nodes id =
+  let rec go id acc =
+    if id < 0 then acc
+    else
+      let n : node = Vec.get nodes id in
+      go n.parent ({ via = n.via; state = n.config.Semantics.state } :: acc)
   in
+  go id []
+
+(* Sequential engine — the exact pre-parallel code path, selected by
+   [~domains:1]. *)
+let run_seq ~order ~budget ~abstraction ~reduction net ~ranges ~goal ~on_store
+    : engine_result * (unit -> (Semantics.state * Dbm.t list) list) =
+  let t0 = Unix.gettimeofday () in
   let pack = make_packer net ranges in
   let nodes : node Vec.t = Vec.create () in
   let passed = H.create 4096 in
@@ -251,6 +271,8 @@ let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
       stored = !resident;
       transitions = !transitions;
       elapsed = Unix.gettimeofday () -. t0;
+      domains = 1;
+      steals = 0;
     }
   in
   let over_budget () =
@@ -259,6 +281,7 @@ let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
        | Some s -> Unix.gettimeofday () -. t0 > s
        | None -> false
   in
+  let dump () = dump_table passed [] in
   let exception Found of int * Dbm.t in
   (* States enter the passed list when pushed (not when popped): later
      duplicates are subsumed away before they ever occupy the waiting
@@ -309,21 +332,317 @@ let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
               succs
           end
     done;
-    Space_exhausted (stats ())
+    (Space_exhausted (stats ()), dump)
   with
-  | Found (id, gz) -> Goal_found (nodes, id, gz, stats ())
-  | Exit -> Out_of_budget (stats ())
+  | Found (id, gz) -> (Goal_found (witness_of nodes id, gz, stats ()), dump)
+  | Exit -> (Out_of_budget (stats ()), dump)
 
-let witness_of nodes id =
-  let rec go id acc =
-    if id < 0 then acc
-    else
-      let n : node = Vec.get nodes id in
-      go n.parent ({ via = n.via; state = n.config.Semantics.state } :: acc)
+(* Parallel engine: the passed list is split into [n_shards] shards
+   keyed by the packed-state hash, each an independent mutex-protected
+   antichain table with its own resident counter; the subsumption probe
+   and the insert happen under one lock acquisition, so two domains
+   racing on comparable zones can never both store (which would
+   double-count [stored] and leave a non-antichain passed list).  Each
+   domain owns a deque of waiting nodes — LIFO for the owner, FIFO for
+   thieves, so stolen work is old (near the root, likely large subtrees)
+   and local work is cache-hot.  Termination is a global count of
+   pushed-but-not-yet-expanded nodes: a domain only quits when every
+   deque it probed was empty and that count is zero.
+
+   Determinism: successor computation is a pure function of the popped
+   configuration, and zone storage is monotone — a zone is dropped only
+   when a superset zone is (already or concurrently) stored.  The fully
+   explored passed list is therefore the set of maximal zones of the
+   closure of the initial configuration under successors, independent
+   of exploration order, so verdicts, WCRT suprema, final antichain
+   contents and the final [stored] count all match the sequential
+   engine exactly.  [explored]/[transitions] are genuinely
+   schedule-dependent (two domains may both expand a zone that one of
+   them later prunes) and are reported as observed. *)
+module Par = struct
+  module Deque = struct
+    type 'a t = {
+      lock : Mutex.t;
+      mutable buf : 'a option array;
+      mutable head : int;
+      mutable len : int;
+    }
+
+    let create () =
+      {
+        lock = Mutex.create ();
+        buf = Array.make 64 Option.None;
+        head = 0;
+        len = 0;
+      }
+
+    let push t x =
+      Mutex.lock t.lock;
+      let cap = Array.length t.buf in
+      if t.len = cap then begin
+        let buf = Array.make (2 * cap) Option.None in
+        for i = 0 to t.len - 1 do
+          buf.(i) <- t.buf.((t.head + i) mod cap)
+        done;
+        t.buf <- buf;
+        t.head <- 0
+      end;
+      t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+      t.len <- t.len + 1;
+      Mutex.unlock t.lock
+
+    (* owner end: newest first, keeps the working set cache-hot *)
+    let pop t =
+      Mutex.lock t.lock;
+      let r =
+        if t.len = 0 then Option.None
+        else begin
+          let i = (t.head + t.len - 1) mod Array.length t.buf in
+          let x = t.buf.(i) in
+          t.buf.(i) <- Option.None;
+          t.len <- t.len - 1;
+          x
+        end
+      in
+      Mutex.unlock t.lock;
+      r
+
+    (* thief end: oldest first *)
+    let steal t =
+      Mutex.lock t.lock;
+      let r =
+        if t.len = 0 then Option.None
+        else begin
+          let x = t.buf.(t.head) in
+          t.buf.(t.head) <- Option.None;
+          t.head <- (t.head + 1) mod Array.length t.buf;
+          t.len <- t.len - 1;
+          x
+        end
+      in
+      Mutex.unlock t.lock;
+      r
+  end
+
+  type shard = { s_lock : Mutex.t; s_table : entry H.t; s_resident : int ref }
+
+  (* Waiting nodes carry parent pointers instead of indices into a
+     shared vector: witness reconstruction needs no synchronisation. *)
+  type pnode = {
+    pconfig : Semantics.config;
+    pparent : pnode option;
+    pvia : Semantics.label option;
+    pslot : slot;
+    pstamp : int;
+  }
+
+  type pstop =
+    | Pfound of pnode * Dbm.t
+    | Pbudget
+    | Perror of exn * Printexc.raw_backtrace
+
+  exception Halt
+
+  let n_shards = 64
+
+  let pwitness n =
+    let rec go n acc =
+      match n with
+      | Option.None -> acc
+      | Some p ->
+          go p.pparent
+            ({ via = p.pvia; state = p.pconfig.Semantics.state } :: acc)
+    in
+    go (Some n) []
+
+  let run ~order ~budget ~abstraction ~reduction ~domains net ~ranges ~goal
+      ~on_store =
+    let t0 = Unix.gettimeofday () in
+    let pack = make_packer net ranges in
+    let shards =
+      Array.init n_shards (fun _ ->
+          { s_lock = Mutex.create (); s_table = H.create 256; s_resident = ref 0 })
+    in
+    let deques = Array.init domains (fun _ -> Deque.create ()) in
+    let stop : pstop option Atomic.t = Atomic.make Option.None in
+    let pending = Atomic.make 0 in
+    let explored = Atomic.make 0 in
+    let transitions = Array.make domains 0 in
+    let steals = Array.make domains 0 in
+    (* serialises user callbacks: [on_store] consumers (sup tracking,
+       deadlock probes) stay race-free without changing their API *)
+    let cb_lock = Mutex.create () in
+    let halt r =
+      ignore (Atomic.compare_and_set stop Option.None (Some r));
+      raise Halt
+    in
+    let over_budget e =
+      (match budget.max_states with Some m -> e >= m | None -> false)
+      || match budget.max_seconds with
+         | Some s -> Unix.gettimeofday () -. t0 > s
+         | None -> false
+    in
+    let add w via parent (c : Semantics.config) =
+      match goal c with
+      | Some gz ->
+          halt
+            (Pfound
+               ( { pconfig = c; pparent = parent; pvia = via; pslot = dead_slot;
+                   pstamp = 0 },
+                 gz ))
+      | None ->
+          let key = pack c.Semantics.state in
+          let sh = shards.(Packed_key.hash key land (n_shards - 1)) in
+          Mutex.lock sh.s_lock;
+          let e = entry_of sh.s_table key c.Semantics.state in
+          if subsumed_in e c.Semantics.zone then Mutex.unlock sh.s_lock
+          else begin
+            let c =
+              if c.Semantics.state == e.canon then c
+              else { c with Semantics.state = e.canon }
+            in
+            let s = store_in e c.Semantics.zone sh.s_resident in
+            Mutex.unlock sh.s_lock;
+            Mutex.lock cb_lock;
+            (match on_store c with
+            | () -> Mutex.unlock cb_lock
+            | exception ex ->
+                Mutex.unlock cb_lock;
+                raise ex);
+            Atomic.incr pending;
+            (* a fresh slot always starts at generation 0; by the time
+               anyone dereferences [s.gen] it may already be pruned,
+               which the pop-time probe detects *)
+            Deque.push deques.(w)
+              { pconfig = c; pparent = parent; pvia = via; pslot = s; pstamp = 0 }
+          end
+    in
+    let process w rng (n : pnode) =
+      if n.pslot.gen = n.pstamp then begin
+        let e = 1 + Atomic.fetch_and_add explored 1 in
+        if over_budget e then halt Pbudget;
+        let succs =
+          Array.of_list
+            (Semantics.successors ~abstraction ~reduction net n.pconfig)
+        in
+        (match rng with Some g -> Prng.shuffle g succs | None -> ());
+        Array.iter
+          (fun (label, c') ->
+            transitions.(w) <- transitions.(w) + 1;
+            add w (Some label) (Some n) c')
+          succs
+      end
+    in
+    let worker w () =
+      let rng =
+        match order with
+        | Random_dfs seed -> Some (Prng.create (seed + (31 * w) + 1))
+        | Bfs | Dfs -> Option.None
+      in
+      try
+        let rec next () =
+          if Atomic.get stop <> Option.None then Option.None
+          else
+            match Deque.pop deques.(w) with
+            | Some _ as r -> r
+            | None -> (
+                let stolen = ref Option.None in
+                let i = ref 1 in
+                while !stolen = Option.None && !i < domains do
+                  (match Deque.steal deques.((w + !i) mod domains) with
+                  | Some _ as r ->
+                      steals.(w) <- steals.(w) + 1;
+                      stolen := r
+                  | None -> ());
+                  incr i
+                done;
+                match !stolen with
+                | Some _ as r -> r
+                | None ->
+                    if Atomic.get pending = 0 then Option.None
+                    else begin
+                      Domain.cpu_relax ();
+                      next ()
+                    end)
+        in
+        let rec loop () =
+          match next () with
+          | None -> ()
+          | Some n ->
+              process w rng n;
+              (* decremented only after the node's successors are all
+                 pushed (and counted), so [pending] can never dip to
+                 zero while reachable work exists *)
+              Atomic.decr pending;
+              loop ()
+        in
+        loop ()
+      with
+      | Halt -> ()
+      | ex ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore
+            (Atomic.compare_and_set stop Option.None (Some (Perror (ex, bt))))
+    in
+    (try add 0 Option.None Option.None (Semantics.initial ~abstraction ~reduction net)
+     with Halt -> ());
+    if Atomic.get stop = Option.None then begin
+      let doms =
+        Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
+      in
+      worker 0 ();
+      Array.iter Domain.join doms
+    end;
+    let stats () =
+      {
+        explored = Atomic.get explored;
+        stored = Array.fold_left (fun a sh -> a + !(sh.s_resident)) 0 shards;
+        transitions = Array.fold_left ( + ) 0 transitions;
+        elapsed = Unix.gettimeofday () -. t0;
+        domains;
+        steals = Array.fold_left ( + ) 0 steals;
+      }
+    in
+    let dump () =
+      Array.fold_left (fun acc sh -> dump_table sh.s_table acc) [] shards
+    in
+    match Atomic.get stop with
+    | Some (Perror (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | Some (Pfound (n, gz)) -> (Goal_found (pwitness n, gz, stats ()), dump)
+    | Some Pbudget -> (Out_of_budget (stats ()), dump)
+    | None -> (Space_exhausted (stats ()), dump)
+end
+
+(* Core loop shared by [reach], [explore] and [explore_passed].  [goal]
+   maps a fresh configuration to its non-empty goal zone when it hits
+   the target; goal checking happens at state creation time so that
+   counterexamples are found as early as possible (UPPAAL does the
+   same). *)
+let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
+    ?(reduction = Active) ?(bounds = Flow) ?domains net ~goal ~on_store () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
   in
-  go id []
+  (* the dataflow analysis tightens the per-location L/U clock bounds
+     (read by [Semantics.extrapolate]) and shrinks the variable ranges
+     the packed state key allots bits to; [Static] keeps the builder's
+     one-shot bounds and the declared ranges as a differential oracle *)
+  let net, ranges =
+    match bounds with
+    | Static -> (net, net.Network.var_ranges)
+    | Flow ->
+        let fa = Ita_analysis.Flow.analyze net in
+        ( Ita_analysis.Flow.refine_lu fa net,
+          Ita_analysis.Flow.global_ranges fa )
+  in
+  if domains = 1 then
+    run_seq ~order ~budget ~abstraction ~reduction net ~ranges ~goal ~on_store
+  else
+    Par.run ~order ~budget ~abstraction ~reduction ~domains net ~ranges ~goal
+      ~on_store
 
-let reach ?order ?budget ?abstraction ?reduction ?bounds net (q : Query.t) =
+let reach ?order ?budget ?abstraction ?reduction ?bounds ?domains net
+    (q : Query.t) =
   let net =
     List.fold_left
       (fun net (x, c) -> Network.bump_clock_bound net x c)
@@ -334,16 +653,16 @@ let reach ?order ?budget ?abstraction ?reduction ?bounds net (q : Query.t) =
     Semantics.zone_of_goal net c q.Query.guard ~comp_locs:q.Query.comp_locs
   in
   match
-    run ?order ?budget ?abstraction ?reduction ?bounds net ~goal
+    run ?order ?budget ?abstraction ?reduction ?bounds ?domains net ~goal
       ~on_store:(fun _ -> ())
       ()
   with
-  | Goal_found (nodes, id, gz, stats) ->
-      Reachable { witness = witness_of nodes id; goal_zone = gz; stats }
-  | Space_exhausted stats -> Unreachable stats
-  | Out_of_budget stats -> Budget_exhausted stats
+  | Goal_found (witness, gz, stats), _ ->
+      Reachable { witness; goal_zone = gz; stats }
+  | Space_exhausted stats, _ -> Unreachable stats
+  | Out_of_budget stats, _ -> Budget_exhausted stats
 
-let explore ?order ?budget ?abstraction ?reduction ?bounds
+let explore ?order ?budget ?abstraction ?reduction ?bounds ?domains
     ?(extra_bounds = []) net ~on_store =
   let net =
     List.fold_left
@@ -351,17 +670,36 @@ let explore ?order ?budget ?abstraction ?reduction ?bounds
       net extra_bounds
   in
   match
-    run ?order ?budget ?abstraction ?reduction ?bounds net
+    run ?order ?budget ?abstraction ?reduction ?bounds ?domains net
       ~goal:(fun _ -> Option.None)
       ~on_store ()
   with
-  | Goal_found _ -> assert false
-  | Space_exhausted stats -> `Complete stats
-  | Out_of_budget stats -> `Budget_exhausted stats
+  | Goal_found _, _ -> assert false
+  | Space_exhausted stats, _ -> `Complete stats
+  | Out_of_budget stats, _ -> `Budget_exhausted stats
+
+let explore_passed ?order ?budget ?abstraction ?reduction ?bounds ?domains
+    ?(extra_bounds = []) net =
+  let net =
+    List.fold_left
+      (fun net (x, c) -> Network.bump_clock_bound net x c)
+      net extra_bounds
+  in
+  match
+    run ?order ?budget ?abstraction ?reduction ?bounds ?domains net
+      ~goal:(fun _ -> Option.None)
+      ~on_store:(fun _ -> ())
+      ()
+  with
+  | Goal_found _, _ -> assert false
+  | Space_exhausted stats, dump -> `Complete (dump (), stats)
+  | Out_of_budget stats, _ -> `Budget_exhausted stats
 
 let pp_stats ppf s =
   Format.fprintf ppf "explored %d, stored %d, transitions %d, %.3fs"
-    s.explored s.stored s.transitions s.elapsed
+    s.explored s.stored s.transitions s.elapsed;
+  if s.domains > 1 then
+    Format.fprintf ppf " (%d domains, %d steals)" s.domains s.steals
 
 let pp_witness net ppf steps =
   List.iteri

@@ -37,6 +37,12 @@ type bounds = Static | Flow
 
 type budget = { max_states : int option; max_seconds : float option }
 
+val default_domains : unit -> int
+(** Worker-domain count used when a caller passes no [?domains]: the
+    [TAMC_DOMAINS] environment variable if set to a positive integer,
+    else [Domain.recommended_domain_count ()].  [1] selects the
+    sequential engine. *)
+
 val no_budget : budget
 val states : int -> budget
 
@@ -48,12 +54,20 @@ val combine : budget -> budget -> budget
 (** Tightest of both limits, dimension-wise. *)
 
 type stats = {
-  explored : int;  (** symbolic states popped and expanded *)
+  explored : int;
+      (** symbolic states popped and expanded.  Schedule-dependent under
+          parallel exploration: two domains may both expand a zone one
+          of them later prunes. *)
   stored : int;
       (** zones resident in the passed list at the end — zones pruned
-          by antichain subsumption are not counted *)
+          by antichain subsumption are not counted.  Deterministic at
+          any domain count for complete explorations: the subsumption
+          probe and insert are atomic per shard, so concurrent
+          comparable inserts can never double-count. *)
   transitions : int;  (** symbolic successors computed *)
   elapsed : float;  (** wall-clock seconds *)
+  domains : int;  (** worker domains used (1 = sequential engine) *)
+  steals : int;  (** frontier nodes stolen across domains (0 when sequential) *)
 }
 
 type step = {
@@ -74,6 +88,7 @@ val reach :
   ?abstraction:abstraction ->
   ?reduction:reduction ->
   ?bounds:bounds ->
+  ?domains:int ->
   Network.t ->
   Query.t ->
   outcome
@@ -81,7 +96,17 @@ val reach :
     constants, so checking [y >= C] is sound for any [C].  Under the
     default [ExtraLU] the returned goal zone may be coarser than the
     exact reachable valuations (verdicts are unaffected); pass
-    [~abstraction:ExtraM] when tight goal-zone bounds matter. *)
+    [~abstraction:ExtraM] when tight goal-zone bounds matter.
+
+    [?domains] (default {!default_domains}) picks the engine:
+    [1] is the exact sequential code path; [d > 1] explores with [d]
+    worker domains over a sharded passed list.  Verdicts are identical;
+    witnesses of a parallel [Reachable] are valid runs but not
+    necessarily shortest, and [explored]/[transitions] counts are
+    schedule-dependent.  Budgeted parallel runs are best-effort: near
+    the budget boundary a run may report [Budget_exhausted] where the
+    sequential engine completed, but never the converse flip of a
+    definite verdict. *)
 
 val explore :
   ?order:order ->
@@ -89,12 +114,35 @@ val explore :
   ?abstraction:abstraction ->
   ?reduction:reduction ->
   ?bounds:bounds ->
+  ?domains:int ->
   ?extra_bounds:(Guard.clock * int) list ->
   Network.t ->
   on_store:(Semantics.config -> unit) ->
   [ `Complete of stats | `Budget_exhausted of stats ]
 (** Full exploration, calling [on_store] once per non-subsumed symbolic
-    state; used by sup-style queries and state-space measurements. *)
+    state; used by sup-style queries and state-space measurements.
+    With [domains > 1] the [on_store] calls are serialised under a
+    dedicated mutex, so existing single-threaded consumers (sup
+    tracking, deadlock probes) need no changes. *)
+
+val explore_passed :
+  ?order:order ->
+  ?budget:budget ->
+  ?abstraction:abstraction ->
+  ?reduction:reduction ->
+  ?bounds:bounds ->
+  ?domains:int ->
+  ?extra_bounds:(Guard.clock * int) list ->
+  Network.t ->
+  [ `Complete of (Semantics.state * Semantics.Dbm.t list) list * stats
+  | `Budget_exhausted of stats ]
+(** Like {!explore} but returns the final passed list: per interned
+    discrete state, the antichain of maximal zones stored for it.  The
+    list order (and the order within each antichain) is unspecified;
+    for a complete exploration its {e contents} are deterministic at
+    any domain count — the differential test layer compares parallel
+    against sequential antichains with an order-insensitive
+    fingerprint. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 val pp_witness : Network.t -> Format.formatter -> step list -> unit

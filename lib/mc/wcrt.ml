@@ -17,7 +17,7 @@ let goal_sup net (q : Query.t) clock (c : Semantics.config) =
   | None -> None
   | Some z -> Some (Dbm.sup z clock)
 
-let sup ?order ?budget ?abstraction ?reduction ?bounds
+let sup ?order ?budget ?abstraction ?reduction ?bounds ?domains
     ?(initial_ceiling = 1_000_000) ?(max_ceiling = 1 lsl 40) net ~at ~clock =
   let rec attempt ceiling =
     let best = ref None in
@@ -33,7 +33,7 @@ let sup ?order ?budget ?abstraction ?reduction ?bounds
     in
     let extra_bounds = (clock, ceiling) :: Query.clock_constants net at in
     let result =
-      Reach.explore ?order ?budget ?abstraction ?reduction ?bounds
+      Reach.explore ?order ?budget ?abstraction ?reduction ?bounds ?domains
         ~extra_bounds net ~on_store
     in
     let observed () =
@@ -71,12 +71,12 @@ type search_result = {
   total_elapsed : float;
 }
 
-let check ?order ?budget ?abstraction ?reduction ?bounds net (at : Query.t)
-    clock c =
+let check ?order ?budget ?abstraction ?reduction ?bounds ?domains net
+    (at : Query.t) clock c =
   let q = Query.with_guard at (Guard.clock_ge clock c) in
-  Reach.reach ?order ?budget ?abstraction ?reduction ?bounds net q
+  Reach.reach ?order ?budget ?abstraction ?reduction ?bounds ?domains net q
 
-let binary_search ?order ?budget ?abstraction ?reduction ?bounds
+let binary_search ?order ?budget ?abstraction ?reduction ?bounds ?domains
     ?(hi = 1_000_000) net ~at ~clock =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
@@ -95,7 +95,10 @@ let binary_search ?order ?budget ?abstraction ?reduction ?bounds
   in
   let exception Stop of search_result in
   let test c =
-    match check ?order ?budget ?abstraction ?reduction ?bounds net at clock c with
+    match
+      check ?order ?budget ?abstraction ?reduction ?bounds ?domains net at
+        clock c
+    with
     | Reach.Reachable { stats; _ } ->
         note stats;
         `Reachable
@@ -140,8 +143,8 @@ let binary_search ?order ?budget ?abstraction ?reduction ?bounds
     result (Some !lo) (Some !up)
   with Stop r -> r
 
-let probe_lower ?order ?abstraction ?reduction ?bounds net ~at ~clock ~budget
-    ~start ~step =
+let probe_lower ?order ?abstraction ?reduction ?bounds ?domains net ~at
+    ~clock ~budget ~start ~step =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
     incr runs;
@@ -152,7 +155,10 @@ let probe_lower ?order ?abstraction ?reduction ?bounds net ~at ~clock ~budget
   let c = ref start in
   let continue = ref true in
   while !continue do
-    match check ?order ?abstraction ?reduction ?bounds ~budget net at clock !c with
+    match
+      check ?order ?abstraction ?reduction ?bounds ?domains ~budget net at
+        clock !c
+    with
     | Reach.Reachable { stats; _ } ->
         note stats;
         lower := Some !c;

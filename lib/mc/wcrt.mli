@@ -38,6 +38,7 @@ val sup :
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
+  ?domains:int ->
   ?initial_ceiling:int ->
   ?max_ceiling:int ->
   Network.t ->
@@ -64,6 +65,7 @@ val binary_search :
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
+  ?domains:int ->
   ?hi:int ->
   Network.t ->
   at:Query.t ->
@@ -78,6 +80,7 @@ val probe_lower :
   ?abstraction:Reach.abstraction ->
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
+  ?domains:int ->
   Network.t ->
   at:Query.t ->
   clock:Guard.clock ->

@@ -67,7 +67,17 @@ val successors :
   config ->
   (label * config) list
 (** All symbolic successors, in deterministic order.  Configurations
-    with empty zones are filtered out.  @raise Update.Out_of_range on a
+    with empty zones are filtered out.
+
+    Domain-safety contract: [initial] and [successors] are pure — they
+    read the (immutable) network, never mutate the input configuration,
+    and return freshly allocated zones that share no mutable state with
+    the input.  The parallel exploration engine
+    ([Ita_mc.Reach] with [domains > 1]) relies on this to call them
+    concurrently from several domains without synchronisation; any
+    future caching added here must be domain-safe.
+
+    @raise Update.Out_of_range on a
     variable-range violation (a modeling error). *)
 
 val zone_of_goal :
