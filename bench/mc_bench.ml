@@ -1,13 +1,17 @@
-(* Zone-engine benchmark: ExtraM vs Extra+LU, machine-readable.
+(* Zone-engine benchmark: ExtraM vs Extra+LU vs LuSim, machine-readable.
 
    Runs the WCRT sup-query on the tractable radio-navigation cells
    (the paper's case study; the periodic-with-offset column is the
    acceptance gate) and a full exploration of a synthetic token-ring
-   scaling family, under both abstractions, and writes BENCH_mc.json
+   scaling family, under all abstractions, and writes BENCH_mc.json
    with explored/stored/transitions/elapsed per cell per abstraction.
 
-   The two abstractions must report identical WCRT results on every
-   cell — Extra+LU only wins by exploring fewer symbolic states.
+   The abstractions must report identical WCRT results on every
+   cell — Extra+LU only wins over ExtraM by exploring fewer symbolic
+   states, and LuSim (unextrapolated zones pruned with the a<|LU
+   simulation) must never explore more than Extra+LU in aggregate,
+   strictly less on the sporadic family where simulation subsumes
+   zones that differ only above the L/U constants.
 
    Each cell additionally carries a reduction-off run (Extra+LU with
    the active-clock reduction disabled) and a flow-off run (Extra+LU
@@ -55,6 +59,7 @@ type cell = {
   kind : string;
   extram : run;
   extralu : run;
+  lusim : run;  (* a<|LU simulation subsumption, unextrapolated zones *)
   extralu_nored : run;  (* Extra+LU with ~reduction:None *)
   extralu_noflow : run;  (* Extra+LU with ~bounds:Static *)
   parallel : par_run option;
@@ -127,6 +132,7 @@ let radionav_cell (row : R.row) column =
     kind = "radionav";
     extram = sup Reach.ExtraM;
     extralu;
+    lusim = sup Reach.LuSim;
     extralu_nored = sup ~reduction:Reach.None Reach.ExtraLU;
     extralu_noflow = sup ~bounds:Reach.Static Reach.ExtraLU;
     parallel;
@@ -252,6 +258,7 @@ let sporadic_cell n =
     kind = "synthetic";
     extram = explore Reach.ExtraM;
     extralu;
+    lusim = explore Reach.LuSim;
     extralu_nored = explore ~reduction:Reach.None Reach.ExtraLU;
     extralu_noflow = explore ~bounds:Reach.Static Reach.ExtraLU;
     parallel;
@@ -285,12 +292,18 @@ let json_cell buf c =
     else
       float_of_int c.extralu.explored /. float_of_int c.extralu_noflow.explored
   in
+  let lusim_ratio =
+    if c.extralu.explored = 0 then 1.0
+    else float_of_int c.lusim.explored /. float_of_int c.extralu.explored
+  in
   Buffer.add_string buf
     (Printf.sprintf
-       {|    {"name": %S, "kind": %S, "results_match": %b, "explored_ratio": %.4f, "reduction_results_match": %b, "reduction_explored_ratio": %.4f, "flow_results_match": %b, "flow_bounds_explored_ratio": %.4f, |}
+       {|    {"name": %S, "kind": %S, "results_match": %b, "explored_ratio": %.4f, "lusim_results_match": %b, "lusim_explored_ratio": %.4f, "reduction_results_match": %b, "reduction_explored_ratio": %.4f, "flow_results_match": %b, "flow_bounds_explored_ratio": %.4f, |}
        c.name c.kind
        (c.extram.result = c.extralu.result)
        ratio
+       (c.extralu.result = c.lusim.result)
+       lusim_ratio
        (c.extralu.result = c.extralu_nored.result)
        red_ratio
        (c.extralu.result = c.extralu_noflow.result)
@@ -314,6 +327,8 @@ let json_cell buf c =
   json_run buf c.extram;
   Buffer.add_string buf {|, "extralu": |};
   json_run buf c.extralu;
+  Buffer.add_string buf {|, "lusim": |};
+  json_run buf c.lusim;
   Buffer.add_string buf {|, "extralu_no_reduction": |};
   json_run buf c.extralu_nored;
   Buffer.add_string buf {|, "extralu_no_flow": |};
@@ -325,6 +340,9 @@ let () =
   let cells = radionav_cells () @ ring_cells () in
   let mismatches =
     List.filter (fun c -> c.extram.result <> c.extralu.result) cells
+  in
+  let lusim_mismatches =
+    List.filter (fun c -> c.extralu.result <> c.lusim.result) cells
   in
   let red_mismatches =
     List.filter (fun c -> c.extralu.result <> c.extralu_nored.result) cells
@@ -349,15 +367,20 @@ let () =
   List.iter
     (fun c ->
       Printf.printf
-        "%-40s extram %7d  extralu %7d  no-red %7d  no-flow %7d  ratio %.3f  \
-         [%s]\n\
+        "%-40s extram %7d  extralu %7d  lusim %7d  no-red %7d  no-flow %7d  \
+         ratio %.3f  lusim-ratio %.3f  [%s]\n\
          %!"
-        c.name c.extram.explored c.extralu.explored c.extralu_nored.explored
-        c.extralu_noflow.explored
+        c.name c.extram.explored c.extralu.explored c.lusim.explored
+        c.extralu_nored.explored c.extralu_noflow.explored
         (if c.extram.explored = 0 then 1.0
          else float_of_int c.extralu.explored /. float_of_int c.extram.explored)
-        (if c.extram.result = c.extralu.result then c.extram.result
-         else Printf.sprintf "MISMATCH %s vs %s" c.extram.result c.extralu.result);
+        (if c.extralu.explored = 0 then 1.0
+         else float_of_int c.lusim.explored /. float_of_int c.extralu.explored)
+        (if c.extram.result = c.extralu.result && c.extralu.result = c.lusim.result
+         then c.extram.result
+         else
+           Printf.sprintf "MISMATCH %s vs %s vs %s" c.extram.result
+             c.extralu.result c.lusim.result);
       match c.parallel with
       | None -> ()
       | Some p ->
@@ -399,13 +422,38 @@ let () =
   in
   Printf.printf "flow-bounds explored ratio (flow / static): %.3f\n%!"
     flow_ratio;
+  let lusim_ratio_of l =
+    let lu = total l (fun c -> c.extralu.explored) in
+    let ls = total l (fun c -> c.lusim.explored) in
+    if lu = 0 then 1.0 else float_of_int ls /. float_of_int lu
+  in
+  let lusim_ratio = lusim_ratio_of cells in
+  let sporadic_cells = List.filter (fun c -> c.kind = "synthetic") cells in
+  let lusim_sporadic_ratio = lusim_ratio_of sporadic_cells in
+  Printf.printf "lusim explored ratio (lusim / extralu): %.3f\n%!" lusim_ratio;
+  Printf.printf "lusim sporadic explored ratio: %.3f\n%!" lusim_sporadic_ratio;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf {|  "suite": "mc-zone-engine", "quick": %b,|} quick);
   Buffer.add_string buf "\n";
+  (* detected host core count, so null par_domains columns (single-core
+     runners skip the parallel rerun) are attributable from the JSON
+     alone *)
+  Buffer.add_string buf
+    (Printf.sprintf {|  "host_cores": %d,|}
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "\n";
   Buffer.add_string buf
     (Printf.sprintf {|  "radionav_explored_ratio": %.4f,|} po_ratio);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Printf.sprintf {|  "lusim_explored_ratio": %.4f,|} lusim_ratio);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|  "lusim_sporadic_explored_ratio": %.4f,|}
+       lusim_sporadic_ratio);
   Buffer.add_string buf "\n";
   Buffer.add_string buf
     (Printf.sprintf {|  "reduction_explored_ratio": %.4f,|} red_ratio);
@@ -426,6 +474,26 @@ let () =
   if mismatches <> [] then begin
     Printf.eprintf "ERROR: %d cells disagree between abstractions\n"
       (List.length mismatches);
+    exit 1
+  end;
+  if lusim_mismatches <> [] then begin
+    Printf.eprintf
+      "ERROR: %d cells disagree between Extra+LU and LuSim\n"
+      (List.length lusim_mismatches);
+    exit 1
+  end;
+  if lusim_ratio > 1.0 then begin
+    Printf.eprintf
+      "ERROR: LuSim explored MORE states than Extra+LU in aggregate \
+       (ratio %.4f)\n"
+      lusim_ratio;
+    exit 1
+  end;
+  if sporadic_cells <> [] && lusim_sporadic_ratio >= 1.0 then begin
+    Printf.eprintf
+      "ERROR: LuSim shows no strict win on the sporadic family \
+       (ratio %.4f)\n"
+      lusim_sporadic_ratio;
     exit 1
   end;
   if red_mismatches <> [] then begin

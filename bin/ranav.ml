@@ -56,20 +56,31 @@ let abstraction_conv =
   let parse = function
     | "extram" -> Ok Reach.ExtraM
     | "extralu" -> Ok Reach.ExtraLU
-    | s -> Error (`Msg (Printf.sprintf "unknown abstraction %S (extram or extralu)" s))
+    | "lusim" -> Ok Reach.LuSim
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown abstraction %S (extram, extralu or lusim)"
+               s))
   in
   let print ppf a =
     Format.pp_print_string ppf
-      (match a with Reach.ExtraM -> "extram" | Reach.ExtraLU -> "extralu")
+      (match a with
+      | Reach.ExtraM -> "extram"
+      | Reach.ExtraLU -> "extralu"
+      | Reach.LuSim -> "lusim")
   in
   Arg.conv (parse, print)
 
 let abstraction_arg =
   Arg.(
     value
-    & opt abstraction_conv Reach.ExtraLU
+    & opt abstraction_conv (Reach.default_abstraction ())
     & info [ "abstraction" ]
-        ~doc:"zone abstraction: extralu (default) or extram (oracle)")
+        ~doc:
+          "zone abstraction: extralu (default), lusim (store \
+           unextrapolated zones, subsume with the a<|LU simulation — \
+           coarsest) or extram (oracle)")
 
 let bounds_conv =
   let parse = function

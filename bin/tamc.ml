@@ -22,6 +22,26 @@ let order_conv =
   in
   Arg.conv (parse, print)
 
+let abstraction_conv =
+  let parse = function
+    | "extram" -> Ok Reach.ExtraM
+    | "extralu" -> Ok Reach.ExtraLU
+    | "lusim" -> Ok Reach.LuSim
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown abstraction %S (extram, extralu or lusim)"
+               s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Reach.ExtraM -> "extram"
+      | Reach.ExtraLU -> "extralu"
+      | Reach.LuSim -> "lusim")
+  in
+  Arg.conv (parse, print)
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ta")
 
@@ -35,7 +55,7 @@ let load ?validate path =
   | Ita_ta.Network.Invalid_model m ->
       Error (Printf.sprintf "%s: invalid model: %s" path m)
 
-let run_check path order budget trace domains =
+let run_check path order budget trace domains abstraction =
   match load path with
   | Error m ->
       prerr_endline m;
@@ -59,7 +79,7 @@ let run_check path order budget trace domains =
                 Format.printf "query %d: deadlock ... @?" i;
                 let dead = ref None in
                 let result =
-                  Reach.explore ~order ~budget ?domains net
+                  Reach.explore ~order ~budget ~abstraction ?domains net
                     ~on_store:(fun cfg ->
                       if
                         !dead = None
@@ -80,7 +100,8 @@ let run_check path order budget trace domains =
             | E.Reach_q q -> (
                 Format.printf "query %d: reach %a ... @?" i
                   (Ita_mc.Query.pp net) q;
-                match Reach.reach ~order ~budget ?domains net q with
+                match Reach.reach ~order ~budget ~abstraction ?domains net q
+                with
                 | Reach.Reachable { witness; stats; _ } ->
                     Format.printf "REACHABLE (%a)@." Reach.pp_stats stats;
                     if trace then Reach.pp_witness net Format.std_formatter witness
@@ -94,7 +115,7 @@ let run_check path order budget trace domains =
                 Format.printf "query %d: sup %s at %a ... @?" i
                   net.Ita_ta.Network.clock_names.(clock)
                   (Ita_mc.Query.pp net) at;
-                match Wcrt.sup ~order ?domains net ~at ~clock with
+                match Wcrt.sup ~order ~abstraction ?domains net ~at ~clock with
                 | Wcrt.Sup { value; kind; stats } ->
                     Format.printf "%d%s (%a)@." value
                       (match kind with
@@ -138,9 +159,22 @@ let check_cmd =
              TAMC_DOMAINS environment variable, else the machine's core \
              count); 1 selects the sequential engine")
   in
+  let abstraction =
+    Arg.(
+      value
+      & opt abstraction_conv (Reach.default_abstraction ())
+      & info [ "abstraction" ]
+          ~doc:
+            "zone abstraction: extralu, lusim (store unextrapolated \
+             zones, subsume with the a<|LU simulation — coarsest) or \
+             extram (oracle); default: the TAMC_ABSTRACTION environment \
+             variable, else extralu")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"run the queries of a .ta file")
-    Term.(const run_check $ file_arg $ order $ budget $ trace $ domains)
+    Term.(
+      const run_check $ file_arg $ order $ budget $ trace $ domains
+      $ abstraction)
 
 let run_show path =
   match load path with

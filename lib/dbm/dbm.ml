@@ -212,6 +212,62 @@ let extrapolate_lu z l u =
     if !changed then close z
   end
 
+(* [le_lu l u z z'] decides Z ⊆ a◁LU(Z') — the simulation-based
+   subsumption of Behrmann et al. / Herbreteau et al., where
+   a◁LU(W) = { v | ∃ w ∈ W, ∀x. (v x > w x ⟹ w x > L x)
+                             ∧ (v x < w x ⟹ v x > U x) }.
+
+   For v ∈ Z the witness set { w | w ◁LU-simulates v } is a per-clock
+   box: lower edge (0,x) = (≤,-v x) if v x ≤ L x else (<, -L x); upper
+   edge (y,0) = (≤, v y) if v y ≤ U y else absent.  Z ⊄ a◁LU(Z') iff
+   some v ∈ Z makes Z' ∩ box(v) empty, i.e. creates a negative cycle
+   lower_x + Z'_{xy} + upper_y (pairs with x or y = 0 cover the
+   one-new-edge cycles, since L 0 = U 0 = 0 makes the reference-clock
+   edges (≤,0)).  Quantifier elimination over v x, v y collapses this,
+   for each pair (x,y) with Z'_{xy} = (c',≺') finite, to feasibility of
+   proj_{x,y}(Z) ∩ { v y ≤ min (U y) (L x - c') } ∩ { v y - v x ≺'⁻ -c' }
+   — a 3-node constraint graph whose only cycles through the two new
+   edges (both leave node y, so no simple cycle uses both) are the four
+   sums tested below.  No mutation, no allocation. *)
+let le_lu l u z z' =
+  assert (z.n = z'.n);
+  assert (Array.length l = z.n && Array.length u = z.n);
+  assert (l.(0) = 0 && u.(0) = 0);
+  is_empty z
+  || ((not (is_empty z'))
+     &&
+     let n = z.n in
+     let feasible b = not (Bound.lt_bound b Bound.zero_le) in
+     try
+       for x = 0 to n - 1 do
+         for y = 0 to n - 1 do
+           if x <> y then begin
+             let zp = get z' x y in
+             if not (Bound.is_infinity zp) then begin
+               let nb' = Bound.negate_weak zp in
+               (* (1) Z must genuinely exceed Z' at (x, y) *)
+               if feasible (Bound.add nb' (get z x y)) then begin
+                 let tb =
+                   Bound.le (Stdlib.min u.(y) (l.(x) - Bound.value zp))
+                 in
+                 if
+                   (* (2) some v y ≤ T is reachable within Z *)
+                   feasible (Bound.add tb (get z 0 y))
+                   (* (3) cycle nb' + Z_{x0} + Z_{0y} *)
+                   && feasible
+                        (Bound.add nb' (Bound.add (get z x 0) (get z 0 y)))
+                   (* (4) cycle tb + Z_{0x} + Z_{xy} *)
+                   && feasible
+                        (Bound.add (get z x y) (Bound.add tb (get z 0 x)))
+                 then raise Exit
+               end
+             end
+           end
+         done
+       done;
+       true
+     with Exit -> false)
+
 let sup z i = get z i 0
 let inf z i = get z 0 i
 

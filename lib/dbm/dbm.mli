@@ -78,6 +78,20 @@ val extrapolate_lu : t -> int array -> int array -> unit
     diagonal-free automata; strictly coarser than (or equal to)
     {!extrapolate} with [k = max l u]. *)
 
+val le_lu : int array -> int array -> t -> t -> bool
+(** [le_lu l u z z'] decides [z ⊆ a◁LU(z')] — the LU-simulation
+    subsumption on {e unextrapolated} zones (Behrmann et al.; Bouyer et
+    al.'s survey, 2022).  [l]/[u] are per-clock lower/upper maximal
+    guard constants with index [0] equal to [0], exactly as for
+    {!extrapolate_lu}.  The test is per-entry over both canonical
+    arguments, mutates nothing and allocates nothing.  It is reflexive
+    and transitive, implies language inclusion of the corresponding
+    symbolic states, and is coarser than {!subset} after
+    {!extrapolate_lu}: whenever [subset (extrapolate_lu z)
+    (extrapolate_lu z')] holds on copies, [le_lu l u z z'] holds on the
+    originals.  Empty [z] is below everything; nothing non-empty is
+    below an empty [z']. *)
+
 val sup : t -> int -> Bound.t
 (** [sup z i] is the least upper bound of clock [i] over the zone
     ([Bound.infinity] when unbounded). *)

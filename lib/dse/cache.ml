@@ -15,7 +15,7 @@ let dir t = t.dir
 
 (* bump when Job.result or the key fields change shape: old entries
    become misses *)
-let version = "ita-dse-v4"
+let version = "ita-dse-v5"
 
 let job_key (spec : Job.spec) =
   let b = spec.Job.budget in
@@ -33,7 +33,8 @@ let job_key (spec : Job.spec) =
             opt string_of_float b.Job.mc_seconds;
             (match b.Job.mc_abstraction with
             | Ita_mc.Reach.ExtraM -> "extram"
-            | Ita_mc.Reach.ExtraLU -> "extralu");
+            | Ita_mc.Reach.ExtraLU -> "extralu"
+            | Ita_mc.Reach.LuSim -> "lusim");
             (match b.Job.mc_bounds with
             | Ita_mc.Reach.Static -> "static"
             | Ita_mc.Reach.Flow -> "flow");

@@ -22,7 +22,7 @@ let combine a b =
     max_seconds = tighter min a.max_seconds b.max_seconds;
   }
 
-type abstraction = Semantics.abstraction = ExtraM | ExtraLU
+type abstraction = Semantics.abstraction = ExtraM | ExtraLU | LuSim
 type reduction = Semantics.reduction = None | Active
 type bounds = Static | Flow
 
@@ -33,6 +33,7 @@ type stats = {
   elapsed : float;
   domains : int;
   steals : int;
+  subsumed_lusim : int;
 }
 
 type step = { via : Semantics.label option; state : Semantics.state }
@@ -53,6 +54,20 @@ let default_domains () =
       | Some n when n >= 1 -> n
       | Some _ | None -> 1)
   | None -> max 1 (Domain.recommended_domain_count ())
+
+(* The abstraction when the caller does not say: the TAMC_ABSTRACTION
+   environment variable (so CI can force the whole test suite through
+   any abstraction) or Extra+LU.  Unknown values fall back to the
+   default rather than fail: the variable is an operator knob, not an
+   API. *)
+let default_abstraction () =
+  match Sys.getenv_opt "TAMC_ABSTRACTION" with
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "extram" -> ExtraM
+      | "lusim" -> LuSim
+      | "extralu" | _ -> ExtraLU)
+  | None -> ExtraLU
 
 (* Discrete states are interned under a packed key: locations and
    variables bit-packed into a short int array, each variable in
@@ -147,25 +162,37 @@ let dead_slot = { zone = Dbm.zero 0; gen = -1 }
    zones seen so far, in a growable array scanned without allocating.
    [canon] is the interned discrete state: every later configuration
    with an equal state is rewritten to share it physically, so one hash
-   lookup per successor replaces the former find-per-probe pattern. *)
+   lookup per successor replaces the former find-per-probe pattern.
+   [lu] is the per-state L/U bound pair when the antichain order is the
+   a◁LU simulation ([LuSim]) — every zone filed under this entry shares
+   the discrete state, hence the L/U vectors, so they are resolved once
+   at entry creation and [Option.None] means plain DBM inclusion. *)
 type entry = {
   canon : Semantics.state;
   mutable slots : slot array;
   mutable len : int;
+  lu : (int array * int array) option;
 }
 
-let entry_of passed key (st : Semantics.state) =
+let entry_of lu_of passed key (st : Semantics.state) =
   match H.find_opt passed key with
   | Some e -> e
   | None ->
-      let e = { canon = st; slots = [||]; len = 0 } in
+      let e = { canon = st; slots = [||]; len = 0; lu = lu_of st } in
       H.add passed key e;
       e
+
+(* The antichain order: plain canonical-DBM inclusion, or a◁LU
+   simulation subsumption on the unextrapolated zones. *)
+let zle e (z : Dbm.t) (z' : Dbm.t) =
+  match e.lu with
+  | Option.None -> Dbm.subset z z'
+  | Some (l, u) -> Dbm.le_lu l u z z'
 
 let subsumed_in e (z : Dbm.t) =
   let i = ref 0 and hit = ref false in
   while (not !hit) && !i < e.len do
-    if Dbm.subset z e.slots.(!i).zone then hit := true;
+    if zle e z e.slots.(!i).zone then hit := true;
     incr i
   done;
   !hit
@@ -176,7 +203,7 @@ let store_in e (z : Dbm.t) resident =
   let keep = ref 0 in
   for i = 0 to e.len - 1 do
     let s = e.slots.(i) in
-    if Dbm.subset s.zone z then begin
+    if zle e s.zone z then begin
       s.gen <- s.gen + 1;
       decr resident
     end
@@ -250,7 +277,8 @@ let witness_of nodes id =
 
 (* Sequential engine — the exact pre-parallel code path, selected by
    [~domains:1]. *)
-let run_seq ~order ~budget ~abstraction ~reduction net ~ranges ~goal ~on_store
+let run_seq ~order ~budget ~abstraction ~reduction ~lu_of net ~ranges ~goal
+    ~on_store
     : engine_result * (unit -> (Semantics.state * Dbm.t list) list) =
   let t0 = Unix.gettimeofday () in
   let pack = make_packer net ranges in
@@ -265,6 +293,7 @@ let run_seq ~order ~budget ~abstraction ~reduction net ~ranges ~goal ~on_store
      final [stats.stored] reports zones actually resident at the end
      rather than the historical store count. *)
   let explored = ref 0 and transitions = ref 0 and resident = ref 0 in
+  let lusim = ref 0 in
   let stats () =
     {
       explored = !explored;
@@ -273,6 +302,7 @@ let run_seq ~order ~budget ~abstraction ~reduction net ~ranges ~goal ~on_store
       elapsed = Unix.gettimeofday () -. t0;
       domains = 1;
       steals = 0;
+      subsumed_lusim = !lusim;
     }
   in
   let over_budget () =
@@ -295,8 +325,13 @@ let run_seq ~order ~budget ~abstraction ~reduction net ~ranges ~goal ~on_store
         in
         raise (Found (id, gz))
     | None ->
-        let e = entry_of passed (pack c.Semantics.state) c.Semantics.state in
-        if not (subsumed_in e c.Semantics.zone) then begin
+        let e =
+          entry_of lu_of passed (pack c.Semantics.state) c.Semantics.state
+        in
+        if subsumed_in e c.Semantics.zone then begin
+          if e.lu <> Option.None then incr lusim
+        end
+        else begin
           (* intern the discrete state: revisits of this entry now share
              it physically, so equality short-circuits on [==] *)
           let c =
@@ -455,8 +490,8 @@ module Par = struct
     in
     go (Some n) []
 
-  let run ~order ~budget ~abstraction ~reduction ~domains net ~ranges ~goal
-      ~on_store =
+  let run ~order ~budget ~abstraction ~reduction ~lu_of ~domains net ~ranges
+      ~goal ~on_store =
     let t0 = Unix.gettimeofday () in
     let pack = make_packer net ranges in
     let shards =
@@ -469,6 +504,7 @@ module Par = struct
     let explored = Atomic.make 0 in
     let transitions = Array.make domains 0 in
     let steals = Array.make domains 0 in
+    let lusim = Array.make domains 0 in
     (* serialises user callbacks: [on_store] consumers (sup tracking,
        deadlock probes) stay race-free without changing their API *)
     let cb_lock = Mutex.create () in
@@ -494,8 +530,11 @@ module Par = struct
           let key = pack c.Semantics.state in
           let sh = shards.(Packed_key.hash key land (n_shards - 1)) in
           Mutex.lock sh.s_lock;
-          let e = entry_of sh.s_table key c.Semantics.state in
-          if subsumed_in e c.Semantics.zone then Mutex.unlock sh.s_lock
+          let e = entry_of lu_of sh.s_table key c.Semantics.state in
+          if subsumed_in e c.Semantics.zone then begin
+            Mutex.unlock sh.s_lock;
+            if e.lu <> Option.None then lusim.(w) <- lusim.(w) + 1
+          end
           else begin
             let c =
               if c.Semantics.state == e.canon then c
@@ -601,6 +640,7 @@ module Par = struct
         elapsed = Unix.gettimeofday () -. t0;
         domains;
         steals = Array.fold_left ( + ) 0 steals;
+        subsumed_lusim = Array.fold_left ( + ) 0 lusim;
       }
     in
     let dump () =
@@ -618,8 +658,11 @@ end
    the target; goal checking happens at state creation time so that
    counterexamples are found as early as possible (UPPAAL does the
    same). *)
-let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
+let run ?(order = Bfs) ?(budget = no_budget) ?abstraction
     ?(reduction = Active) ?(bounds = Flow) ?domains net ~goal ~on_store () =
+  let abstraction =
+    match abstraction with Some a -> a | None -> default_abstraction ()
+  in
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
@@ -635,11 +678,22 @@ let run ?(order = Bfs) ?(budget = no_budget) ?(abstraction = ExtraLU)
         ( Ita_analysis.Flow.refine_lu fa net,
           Ita_analysis.Flow.global_ranges fa )
   in
+  (* Under [LuSim] the antichains order zones by a◁LU simulation over
+     the per-state L/U constants — resolved against the (possibly
+     flow-refined) [net] above, so the subsumption test and the
+     [ExtraLU] extrapolation always read the same bounds *)
+  let lu_of =
+    match abstraction with
+    | LuSim ->
+        fun (st : Semantics.state) -> Some (Semantics.lu_bounds net st)
+    | ExtraM | ExtraLU -> fun _ -> Option.None
+  in
   if domains = 1 then
-    run_seq ~order ~budget ~abstraction ~reduction net ~ranges ~goal ~on_store
-  else
-    Par.run ~order ~budget ~abstraction ~reduction ~domains net ~ranges ~goal
+    run_seq ~order ~budget ~abstraction ~reduction ~lu_of net ~ranges ~goal
       ~on_store
+  else
+    Par.run ~order ~budget ~abstraction ~reduction ~lu_of ~domains net ~ranges
+      ~goal ~on_store
 
 let reach ?order ?budget ?abstraction ?reduction ?bounds ?domains net
     (q : Query.t) =
@@ -698,6 +752,8 @@ let explore_passed ?order ?budget ?abstraction ?reduction ?bounds ?domains
 let pp_stats ppf s =
   Format.fprintf ppf "explored %d, stored %d, transitions %d, %.3fs"
     s.explored s.stored s.transitions s.elapsed;
+  if s.subsumed_lusim > 0 then
+    Format.fprintf ppf " (lusim-subsumed %d)" s.subsumed_lusim;
   if s.domains > 1 then
     Format.fprintf ppf " (%d domains, %d steals)" s.domains s.steals
 

@@ -12,10 +12,17 @@ open Ita_ta
 
 type order = Bfs | Dfs | Random_dfs of int  (** seed *)
 
-type abstraction = Semantics.abstraction = ExtraM | ExtraLU
+type abstraction = Semantics.abstraction = ExtraM | ExtraLU | LuSim
     (** Finite abstraction applied to zones (see {!Semantics.abstraction}).
-        The default everywhere is [ExtraLU]; [ExtraM] is kept as a
-        differential-testing oracle and for exact goal-zone bounds. *)
+        The default everywhere is {!default_abstraction} (normally
+        [ExtraLU]); [ExtraM] is kept as a differential-testing oracle
+        and for exact goal-zone bounds.  Under [LuSim] zones are stored
+        unextrapolated and the passed-list antichains subsume with the
+        a◁LU simulation test ({!Ita_dbm.Dbm.le_lu}) over the same
+        (flow-refined when [bounds = Flow]) per-state L/U constants the
+        [ExtraLU] extrapolation reads — strictly coarser pruning,
+        identical verdicts and WCRTs, exact goal zones and witness
+        traces. *)
 
 type reduction = Semantics.reduction = None | Active
     (** Active-clock reduction (see {!Semantics.reduction}).  The
@@ -43,6 +50,12 @@ val default_domains : unit -> int
     else [Domain.recommended_domain_count ()].  [1] selects the
     sequential engine. *)
 
+val default_abstraction : unit -> abstraction
+(** Abstraction used when a caller passes no [?abstraction]: the
+    [TAMC_ABSTRACTION] environment variable ([extram] / [extralu] /
+    [lusim], so CI can force the whole suite through any abstraction),
+    else [ExtraLU].  Unrecognised values fall back to [ExtraLU]. *)
+
 val no_budget : budget
 val states : int -> budget
 
@@ -60,14 +73,22 @@ type stats = {
           of them later prunes. *)
   stored : int;
       (** zones resident in the passed list at the end — zones pruned
-          by antichain subsumption are not counted.  Deterministic at
-          any domain count for complete explorations: the subsumption
-          probe and insert are atomic per shard, so concurrent
-          comparable inserts can never double-count. *)
+          by antichain subsumption are not counted.  Under subset
+          subsumption ([ExtraM]/[ExtraLU]) deterministic at any domain
+          count for complete explorations: the subsumption probe and
+          insert are atomic per shard, so concurrent comparable inserts
+          can never double-count.  Under [LuSim] the simulation
+          quasi-order is not antisymmetric — two distinct zones can
+          simulate each other, and which representative survives (hence
+          the exact count) is schedule-dependent. *)
   transitions : int;  (** symbolic successors computed *)
   elapsed : float;  (** wall-clock seconds *)
   domains : int;  (** worker domains used (1 = sequential engine) *)
   steals : int;  (** frontier nodes stolen across domains (0 when sequential) *)
+  subsumed_lusim : int;
+      (** successor configurations discharged by the a◁LU simulation
+          test — [0] unless the abstraction is [LuSim].  Like
+          [explored], schedule-dependent under parallel exploration. *)
 }
 
 type step = {
@@ -139,10 +160,13 @@ val explore_passed :
 (** Like {!explore} but returns the final passed list: per interned
     discrete state, the antichain of maximal zones stored for it.  The
     list order (and the order within each antichain) is unspecified;
-    for a complete exploration its {e contents} are deterministic at
-    any domain count — the differential test layer compares parallel
-    against sequential antichains with an order-insensitive
-    fingerprint. *)
+    under subset subsumption ([ExtraM]/[ExtraLU]) a complete
+    exploration's {e contents} are deterministic at any domain count —
+    the differential test layer compares parallel against sequential
+    antichains with an order-insensitive fingerprint.  Under [LuSim]
+    contents are only canonical up to mutual a◁LU simulation (see
+    {!stats.stored}); the test layer checks two-way simulation
+    coverage instead. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 val pp_witness : Network.t -> Format.formatter -> step list -> unit

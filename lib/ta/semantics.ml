@@ -2,7 +2,7 @@ module Dbm = Ita_dbm.Dbm
 
 type state = { locs : int array; env : int array }
 type config = { state : state; zone : Dbm.t }
-type abstraction = ExtraM | ExtraLU
+type abstraction = ExtraM | ExtraLU | LuSim
 type reduction = None | Active
 
 type label =
@@ -99,27 +99,35 @@ let normalize_inactive (net : Network.t) st z =
     end
   done
 
-(* Extrapolate [z] with the abstraction in force.  Extra+LU resolves
-   the L/U constants against the current location vector: the bound
-   for a clock is the max over components of the location-indexed
-   static analysis, floored by the network-wide base (where query
-   constants live). *)
+(* Resolve the per-state Extra+LU constants: the bound for a clock is
+   the max over components of the location-indexed static analysis,
+   floored by the network-wide base (where query constants live).
+   Shared by the Extra+LU extrapolation and the a◁LU subsumption test
+   (which consumes the same vectors but never rewrites the zone). *)
+let lu_bounds (net : Network.t) st =
+  let n = Array.length net.Network.clock_names in
+  let l = Array.copy net.Network.lbase in
+  let u = Array.copy net.Network.ubase in
+  Array.iteri
+    (fun i li ->
+      let ll = net.Network.lloc.(i).(li) and uu = net.Network.uloc.(i).(li) in
+      for x = 1 to n - 1 do
+        if ll.(x) > l.(x) then l.(x) <- ll.(x);
+        if uu.(x) > u.(x) then u.(x) <- uu.(x)
+      done)
+    st.locs;
+  (l, u)
+
+(* Extrapolate [z] with the abstraction in force.  Under [LuSim] the
+   stored zones stay unextrapolated — finiteness comes from the passed
+   list subsuming with {!Dbm.le_lu} instead. *)
 let extrapolate (net : Network.t) abstraction st z =
   match abstraction with
   | ExtraM -> Dbm.extrapolate z net.Network.k
   | ExtraLU ->
-      let n = Array.length net.Network.clock_names in
-      let l = Array.copy net.Network.lbase in
-      let u = Array.copy net.Network.ubase in
-      Array.iteri
-        (fun i li ->
-          let ll = net.Network.lloc.(i).(li) and uu = net.Network.uloc.(i).(li) in
-          for x = 1 to n - 1 do
-            if ll.(x) > l.(x) then l.(x) <- ll.(x);
-            if uu.(x) > u.(x) then u.(x) <- uu.(x)
-          done)
-        st.locs;
+      let l, u = lu_bounds net st in
       Dbm.extrapolate_lu z l u
+  | LuSim -> ()
 
 (* Delay-close [z] in discrete state [st]: up, then invariants, then
    extrapolation.  [z] must already satisfy the invariants. *)

@@ -20,14 +20,22 @@ type state = { locs : int array; env : int array }
 
 type config = { state : state; zone : Dbm.t }
 
-type abstraction = ExtraM | ExtraLU
-    (** Which finite abstraction delay-closure applies to zones.
+type abstraction = ExtraM | ExtraLU | LuSim
+    (** Which finite abstraction the exploration applies to zones.
         [ExtraM] is classical maximal-constant extrapolation with one
         bound per clock ([Network.k]); [ExtraLU] is Extra+LU over the
         static lower/upper bounds analysis ([Network.lloc]/[uloc] with
         the [lbase]/[ubase] floors) — coarser, hence fewer symbolic
         states, with identical reachability verdicts on the
-        diagonal-free automata this library builds. *)
+        diagonal-free automata this library builds.  [LuSim] stores
+        zones {e unextrapolated} (delay-closure rewrites nothing) and
+        relies on the passed list subsuming with the a◁LU simulation
+        test ({!Dbm.le_lu}) over the same L/U constants — strictly
+        coarser than Extra+LU inclusion, again with identical verdicts.
+        Exact zones also make witness traces exact.  Finiteness of the
+        exploration is then a property of the passed list, not of the
+        zone set: an exploration that stores [LuSim] zones must subsume
+        with [Dbm.le_lu], as [Ita_mc.Reach] does. *)
 
 type reduction = None | Active
     (** Active-clock reduction (Daws–Yovine).  Under [Active]
@@ -52,6 +60,14 @@ type label =
 
 val state_equal : state -> state -> bool
 val state_hash : state -> int
+
+val lu_bounds : Network.t -> state -> int array * int array
+(** [lu_bounds net st] resolves the per-clock Extra+LU constants in
+    discrete state [st]: per-location maxima over the components
+    ([Network.lloc]/[uloc]), floored by [lbase]/[ubase].  Freshly
+    allocated; index [0] is [0].  These are the vectors the [ExtraLU]
+    abstraction extrapolates with and the [LuSim] passed list feeds to
+    {!Dbm.le_lu}. *)
 
 val initial : ?abstraction:abstraction -> ?reduction:reduction -> Network.t -> config
 (** Defaults: [ExtraLU] abstraction, [Active] reduction.  An

@@ -166,6 +166,50 @@ let test_extrapolate_lu_keeps_low_bounds () =
   Dbm.extrapolate_lu z' [| 0; 5; 5 |] [| 0; 5; 5 |];
   Alcotest.(check bool) "unchanged below the bounds" true (Dbm.equal z z')
 
+(* le_lu: a◁LU simulation subsumption on unextrapolated zones.  One
+   clock, L(x1) = 0..8, U(x1) = 5: a zone reaching below U must be
+   matched pointwise, a zone entirely above U is matched by anything
+   above it. *)
+let test_le_lu_one_clock () =
+  let low lo =
+    let z = Dbm.universal 1 in
+    Dbm.constrain z 0 1 (Bound.le (-lo));
+    z
+  in
+  let l = [| 0; 8 |] and u = [| 0; 5 |] in
+  (* v1 = 0 ∈ Z needs a witness w ≤ 0 in Z' = {v1 >= 10}: none *)
+  Alcotest.(check bool) "universal not below {>=10}" false
+    (Dbm.le_lu l u (low 0) (low 10));
+  (* every v ∈ {v1 >= 6} is above U(5), so any larger witness works *)
+  Alcotest.(check bool) "{>=6} below {>=10}" true
+    (Dbm.le_lu l u (low 6) (low 10));
+  (* ... but not below U: 5 ∈ {v1 >= 5} has no witness ≤ 5 *)
+  Alcotest.(check bool) "{>=5} not below {>=10}" false
+    (Dbm.le_lu l u (low 5) (low 10));
+  (* upper bounds only matter up to L: a member above its witness needs
+     the witness above L, so {<=9} ⊑ {<=8} holds for small L but not
+     once L reaches the witness's cap *)
+  let high hi =
+    let z = Dbm.universal 1 in
+    Dbm.constrain z 1 0 (Bound.le hi);
+    z
+  in
+  Alcotest.(check bool) "{<=9} below {<=8} when L = 3" true
+    (Dbm.le_lu [| 0; 3 |] u (high 9) (high 8));
+  Alcotest.(check bool) "{<=9} not below {<=8} when L = 8" false
+    (Dbm.le_lu [| 0; 8 |] u (high 9) (high 8))
+
+let test_le_lu_empty () =
+  let l = [| 0; 3; 3; 3 |] and u = [| 0; 3; 3; 3 |] in
+  let empty = Dbm.zero 3 in
+  Dbm.constrain empty 0 1 (Bound.le (-1));
+  let z = Dbm.zero 3 in
+  Alcotest.(check bool) "empty below anything" true (Dbm.le_lu l u empty z);
+  Alcotest.(check bool) "nothing non-empty below empty" false
+    (Dbm.le_lu l u z empty);
+  Alcotest.(check bool) "empty below empty" true
+    (Dbm.le_lu l u empty (Dbm.copy empty))
+
 let test_extrapolate_idempotent () =
   let z = Dbm.zero 2 in
   Dbm.up z;
@@ -319,6 +363,124 @@ let prop_extrapolate_lu_coarser_than_m =
       Dbm.extrapolate_lu zlu k k;
       Dbm.subset zm zlu)
 
+(* ------------------------------------------------------------------ *)
+(* le_lu properties                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_le_lu_reflexive =
+  QCheck2.Test.make ~count:500 ~name:"le_lu: reflexive"
+    QCheck2.Gen.(tup3 gen_zone gen_lu_bounds gen_lu_bounds)
+    (fun (z, l, u) -> Dbm.le_lu l u z z)
+
+let prop_le_lu_transitive =
+  QCheck2.Test.make ~count:2000 ~name:"le_lu: transitive"
+    QCheck2.Gen.(tup3 (tup3 gen_zone gen_zone gen_zone) gen_lu_bounds gen_lu_bounds)
+    (fun ((z1, z2, z3), l, u) ->
+      if Dbm.le_lu l u z1 z2 && Dbm.le_lu l u z2 z3 then Dbm.le_lu l u z1 z3
+      else true)
+
+let prop_le_lu_coarser_than_subset =
+  QCheck2.Test.make ~count:1000 ~name:"le_lu: implied by plain inclusion"
+    QCheck2.Gen.(tup3 (tup2 gen_zone gen_zone) gen_lu_bounds gen_lu_bounds)
+    (fun ((z, z'), l, u) ->
+      if Dbm.subset z z' then Dbm.le_lu l u z z' else true)
+
+(* The theorem that makes a◁LU subsumption explore no more states than
+   Extra+LU (Herbreteau et al.): Extra+LU(Z) ⊆ a◁LU(Z), hence
+   extrapolation-based inclusion implies simulation-based inclusion on
+   the unextrapolated zones.  Never assert the reverse direction — the
+   whole point is that le_lu is strictly coarser. *)
+let prop_le_lu_coarser_than_extrapolation =
+  QCheck2.Test.make ~count:1000
+    ~name:"le_lu: implied by subset after extrapolate_lu"
+    QCheck2.Gen.(tup3 (tup2 gen_zone gen_zone) gen_lu_bounds gen_lu_bounds)
+    (fun ((z, z'), l, u) ->
+      let ze = Dbm.copy z and ze' = Dbm.copy z' in
+      Dbm.extrapolate_lu ze l u;
+      Dbm.extrapolate_lu ze' l u;
+      if Dbm.subset ze ze' then Dbm.le_lu l u z z' else true)
+
+(* Language-inclusion soundness on concrete walks: when [le_lu l u z z']
+   holds, every guard/reset/delay walk a member of [z] can do concretely
+   — guards diagonal-free with lower constants ≤ L and upper constants
+   ≤ U, as the L/U analysis guarantees for the checker — is feasible
+   from [z'] symbolically (delays time-abstracted by [up], exactly how
+   the checker uses zones). *)
+type wstep =
+  | Wdelay of int
+  | Wlow of int * int * bool  (* clock, constant, strict *)
+  | Whigh of int * int * bool
+  | Wreset of int
+
+let gen_walk l u =
+  QCheck2.Gen.(
+    list_size (int_range 0 6)
+      (let* choice = int_range 0 3 in
+       match choice with
+       | 0 ->
+           let* d = int_range 0 6 in
+           return (Wdelay d)
+       | 1 ->
+           let* i = int_range 1 n_clocks in
+           let* strict = bool in
+           let* k = int_range 0 (max 0 l.(i)) in
+           return (Wlow (i, k, strict))
+       | 2 ->
+           let* i = int_range 1 n_clocks in
+           let* strict = bool in
+           let* k = int_range 0 (max 0 u.(i)) in
+           return (Whigh (i, k, strict))
+       | _ ->
+           let* i = int_range 1 n_clocks in
+           return (Wreset i)))
+
+let concrete_walk v steps =
+  let v = Array.copy v in
+  List.for_all
+    (function
+      | Wdelay d ->
+          for i = 1 to n_clocks do
+            v.(i) <- v.(i) + d
+          done;
+          true
+      | Wlow (i, k, strict) -> if strict then v.(i) > k else v.(i) >= k
+      | Whigh (i, k, strict) -> if strict then v.(i) < k else v.(i) <= k
+      | Wreset i ->
+          v.(i) <- 0;
+          true)
+    steps
+
+let symbolic_walk z steps =
+  let z = Dbm.copy z in
+  List.iter
+    (function
+      | Wdelay _ -> Dbm.up z
+      | Wlow (i, k, strict) ->
+          Dbm.constrain z 0 i (if strict then Bound.lt (-k) else Bound.le (-k))
+      | Whigh (i, k, strict) ->
+          Dbm.constrain z i 0 (if strict then Bound.lt k else Bound.le k)
+      | Wreset i -> Dbm.reset z i 0)
+    steps;
+  not (Dbm.is_empty z)
+
+let gen_lu_walk =
+  QCheck2.Gen.(
+    gen_lu_bounds >>= fun l ->
+    gen_lu_bounds >>= fun u ->
+    gen_walk l u >|= fun w -> (l, u, w))
+
+let prop_le_lu_language_inclusion =
+  QCheck2.Test.make ~count:2000
+    ~name:"le_lu: concrete walks of members stay feasible in the simulator"
+    QCheck2.Gen.(tup3 gen_zone gen_zone (tup2 gen_valuation gen_lu_walk))
+    (fun (z, z', (val_, (l, u, steps))) ->
+      if
+        Dbm.le_lu l u z z'
+        && Dbm.satisfies z val_
+        && concrete_walk val_ steps
+      then symbolic_walk z' steps
+      else true)
+
 let prop_extrapolate_lu_idempotent =
   QCheck2.Test.make ~count:500 ~name:"extrapolate_lu: idempotent"
     QCheck2.Gen.(tup3 gen_zone gen_lu_bounds gen_lu_bounds)
@@ -409,6 +571,11 @@ let () =
         prop_extrapolate_widens;
         prop_extrapolate_lu_widens;
         prop_extrapolate_lu_coarser_than_m;
+        prop_le_lu_reflexive;
+        prop_le_lu_transitive;
+        prop_le_lu_coarser_than_subset;
+        prop_le_lu_coarser_than_extrapolation;
+        prop_le_lu_language_inclusion;
         prop_extrapolate_lu_idempotent;
         prop_sup_bounds_members;
         prop_canonical_triangle;
@@ -439,6 +606,8 @@ let () =
           Alcotest.test_case "extrapolate_lu" `Quick test_extrapolate_lu;
           Alcotest.test_case "extrapolate_lu below bounds" `Quick
             test_extrapolate_lu_keeps_low_bounds;
+          Alcotest.test_case "le_lu one clock" `Quick test_le_lu_one_clock;
+          Alcotest.test_case "le_lu empty zones" `Quick test_le_lu_empty;
           Alcotest.test_case "extrapolate idempotent" `Quick
             test_extrapolate_idempotent;
         ] );

@@ -304,6 +304,15 @@ let test_witness_structure () =
    extrapolation and active-clock reduction.                           *)
 (* ------------------------------------------------------------------ *)
 
+(* A concrete valuation as a one-point zone, for simulation-aware
+   coverage checks. *)
+let point_zone v =
+  let z = Ita_dbm.Dbm.zero (Array.length v - 1) in
+  for i = 1 to Array.length v - 1 do
+    Ita_dbm.Dbm.reset z i v.(i)
+  done;
+  z
+
 let symbolic_cover net =
   let store = Hashtbl.create 256 in
   (match
@@ -314,6 +323,18 @@ let symbolic_cover net =
    with
   | `Complete _ -> ()
   | `Budget_exhausted _ -> Alcotest.fail "exploration should complete");
+  (* Under [LuSim] (e.g. the TAMC_ABSTRACTION=lusim CI leg) stored
+     zones are exact and pruned up to a◁LU simulation, so a concrete
+     state need only be covered up to a◁LU of some stored zone — the
+     point-zone le_lu test, over the same flow-refined bounds the
+     engine subsumed with.  Under the extrapolations, stored zones are
+     supersets of the exact ones and plain membership must hold. *)
+  let lusim_net =
+    match Reach.default_abstraction () with
+    | Reach.LuSim ->
+        Some (Ita_analysis.Flow.(refine_lu (analyze net) net))
+    | Reach.ExtraM | Reach.ExtraLU -> None
+  in
   fun (c : Concrete.t) ->
     (* the engine pins dead clocks at 0; normalize the concrete
        valuation the same way before testing membership *)
@@ -331,7 +352,18 @@ let symbolic_cover net =
     done;
     match Hashtbl.find_opt store (c.Concrete.locs, c.Concrete.env) with
     | None -> false
-    | Some zones -> List.exists (fun z -> Ita_dbm.Dbm.satisfies z clocks) zones
+    | Some zones -> (
+        List.exists (fun z -> Ita_dbm.Dbm.satisfies z clocks) zones
+        ||
+        match lusim_net with
+        | None -> false
+        | Some rnet ->
+            let st =
+              { Semantics.locs = c.Concrete.locs; env = c.Concrete.env }
+            in
+            let l, u = Semantics.lu_bounds rnet st in
+            let pt = point_zone clocks in
+            List.exists (fun z -> Ita_dbm.Dbm.le_lu l u pt z) zones)
 
 let walk_covered net seed =
   let covered = symbolic_cover net in
@@ -405,8 +437,8 @@ let sup_fingerprint ?(initial_ceiling = 64) ?(max_ceiling = 256) net ~at ~clock
   | Wcrt.Sup_budget_exhausted _ -> "budget"
   | Wcrt.Sup_unbounded _ -> "unbounded"
 
-(* Every location of every component, every clock: the two abstractions
-   must report the same sup outcome. *)
+(* Every location of every component, every clock: all three
+   abstractions must report the same sup outcome. *)
 let check_net_wcrt_agrees name net =
   let n_clocks = Array.length net.Network.clock_names in
   Array.iteri
@@ -417,11 +449,17 @@ let check_net_wcrt_agrees name net =
           for x = 1 to n_clocks - 1 do
             let m = sup_fingerprint net ~at ~clock:x Reach.ExtraM in
             let lu = sup_fingerprint net ~at ~clock:x Reach.ExtraLU in
+            let ls = sup_fingerprint net ~at ~clock:x Reach.LuSim in
             Alcotest.(check string)
               (Printf.sprintf "%s: sup %s at %s.%s" name
                  net.Network.clock_names.(x) a.Automaton.name
                  l.Automaton.loc_name)
-              m lu
+              m lu;
+            Alcotest.(check string)
+              (Printf.sprintf "%s: lusim sup %s at %s.%s" name
+                 net.Network.clock_names.(x) a.Automaton.name
+                 l.Automaton.loc_name)
+              lu ls
           done)
         a.Automaton.locations)
     net.Network.automata
@@ -459,15 +497,23 @@ let test_verdicts_agree_on_examples () =
           | E.Reach_q q ->
               let m = verdict (Reach.reach ~abstraction:Reach.ExtraM net q) in
               let lu = verdict (Reach.reach ~abstraction:Reach.ExtraLU net q) in
+              let ls = verdict (Reach.reach ~abstraction:Reach.LuSim net q) in
               Alcotest.(check string)
                 (Printf.sprintf "%s query %d" file i)
-                m lu
+                m lu;
+              Alcotest.(check string)
+                (Printf.sprintf "%s query %d (lusim)" file i)
+                lu ls
           | E.Sup_q { clock; at } ->
               let m = sup_fingerprint net ~at ~clock Reach.ExtraM in
               let lu = sup_fingerprint net ~at ~clock Reach.ExtraLU in
+              let ls = sup_fingerprint net ~at ~clock Reach.LuSim in
               Alcotest.(check string)
                 (Printf.sprintf "%s sup query %d" file i)
-                m lu
+                m lu;
+              Alcotest.(check string)
+                (Printf.sprintf "%s sup query %d (lusim)" file i)
+                lu ls
           | E.Deadlock_q -> ())
         queries)
     [ "fischer.ta"; "train_gate.ta"; "two_phase.ta" ]
@@ -526,7 +572,7 @@ let gen_random_net =
 
 let test_random_nets_agree =
   QCheck2.Test.make ~count:60
-    ~name:"ExtraM and Extra+LU verdicts agree on random automata"
+    ~name:"ExtraM, Extra+LU and LuSim verdicts agree on random automata"
     QCheck2.Gen.(pair gen_random_net (int_range 0 10))
     (fun ((net, nl), c) ->
       (* reachability of every location with y >= c, plus the sup of
@@ -537,12 +583,12 @@ let test_random_nets_agree =
         let q = Query.with_guard at (Guard.clock_ge 2 c) in
         let m = verdict (Reach.reach ~abstraction:Reach.ExtraM net q) in
         let lu = verdict (Reach.reach ~abstraction:Reach.ExtraLU net q) in
-        if m <> lu then ok := false;
+        let ls = verdict (Reach.reach ~abstraction:Reach.LuSim net q) in
+        if m <> lu || lu <> ls then ok := false;
         for x = 1 to 2 do
-          if
-            sup_fingerprint net ~at ~clock:x Reach.ExtraM
-            <> sup_fingerprint net ~at ~clock:x Reach.ExtraLU
-          then ok := false
+          let fp = sup_fingerprint net ~at ~clock:x in
+          let lu = fp Reach.ExtraLU in
+          if fp Reach.ExtraM <> lu || fp Reach.LuSim <> lu then ok := false
         done
       done;
       !ok)
