@@ -103,6 +103,27 @@ let bounds_arg =
           "extrapolation-bound source: flow (default, refined by the \
            dataflow analysis) or static (the builder's one-shot scan)")
 
+let slicing_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Reach.parse_slicing s) in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | Reach.Off -> "off"
+      | Reach.Coi -> "coi"
+      | Reach.CoiMerge -> "coimerge")
+  in
+  Arg.conv (parse, print)
+
+let slicing_arg =
+  Arg.(
+    value
+    & opt slicing_conv (Reach.default_slicing ())
+    & info [ "slicing" ]
+        ~doc:
+          "query-directed model reduction before exploring: coimerge \
+           (default; cone-of-influence slice plus quasi-equal clock \
+           merging), coi (slice only) or off (oracle)")
+
 (* the parser above cannot know the seed yet; thread it in here *)
 let seeded_order order seed =
   match order with Reach.Random_dfs _ -> Reach.Random_dfs seed | o -> o
@@ -142,7 +163,7 @@ let domains_arg =
 (* ------------------------------------------------------------------ *)
 
 let run_wcrt combo column scenario requirement order seed budget probe_start_ms
-    abstraction bounds domains =
+    abstraction bounds domains slicing =
   let order = seeded_order order seed in
   let sys = R.system combo column in
   let method_ =
@@ -158,8 +179,8 @@ let run_wcrt combo column scenario requirement order seed budget probe_start_ms
           }
   in
   let r =
-    Analyze.wcrt ~method_ ~order ~abstraction ~bounds ?domains sys ~scenario
-      ~requirement
+    Analyze.wcrt ~method_ ~order ~abstraction ~bounds ?domains ~slicing sys
+      ~scenario ~requirement
   in
   Format.printf "%s %s/%s [%s]: uncontended %a ms, wcrt %a ms (%d states, %.2fs)@."
     (match combo with R.Cv_tmc -> "cv" | R.Al_tmc -> "al")
@@ -183,7 +204,7 @@ let wcrt_cmd =
     Term.(
       const run_wcrt $ combo_arg $ column_arg $ scenario $ requirement
       $ order_arg $ seed_arg $ budget_arg $ probe_start $ abstraction_arg
-      $ bounds_arg $ domains_arg)
+      $ bounds_arg $ domains_arg $ slicing_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -477,8 +498,8 @@ let technique_conv =
 
 let run_explore combo column scenario requirement techniques mmi_mips rad_mips
     nav_mips bus_kbps decode_on jobs timeout_s cache_dir no_cache mc_states
-    mc_seconds mc_abstraction mc_bounds mc_domains sim_runs sim_horizon_s
-    inject_crash isolation =
+    mc_seconds mc_abstraction mc_bounds mc_domains mc_slicing sim_runs
+    sim_horizon_s inject_crash isolation =
   let open Ita_dse in
   let space =
     Spaces.radionav ~combo ~column ~mmi_mips ~rad_mips ~nav_mips ~bus_kbps
@@ -492,6 +513,7 @@ let run_explore combo column scenario requirement techniques mmi_mips rad_mips
       mc_abstraction;
       mc_bounds;
       mc_domains;
+      mc_slicing;
       sim_runs;
       sim_horizon_us = int_of_float (sim_horizon_s *. 1e6);
     }
@@ -634,8 +656,8 @@ let explore_cmd =
       const run_explore $ combo $ column $ scenario $ requirement
       $ techniques $ mmi $ rad $ nav $ bus $ decode_on $ jobs $ timeout
       $ cache_dir $ no_cache $ mc_states $ mc_seconds $ abstraction_arg
-      $ bounds_arg $ mc_domains $ sim_runs $ sim_horizon $ inject_crash
-      $ isolation)
+      $ bounds_arg $ mc_domains $ slicing_arg $ sim_runs $ sim_horizon
+      $ inject_crash $ isolation)
 
 (* ------------------------------------------------------------------ *)
 (* lint: static analysis of the generated networks                     *)
@@ -675,7 +697,14 @@ let run_lint combos columns fail_on verbose json =
       | Some o -> [ o.Gen.obs_clock ]
       | None -> []
     in
-    let findings = Lint.run ~observed_clocks net in
+    let observed_comps =
+      match observer with
+      | Some o ->
+          List.map fst o.Gen.seen.Ita_mc.Query.comp_locs
+          |> List.sort_uniq compare
+      | None -> []
+    in
+    let findings = Lint.run ~observed_comps ~observed_clocks net in
     if json then begin
       if findings <> [] then reports := (label, net, findings) :: !reports
     end

@@ -42,6 +42,28 @@ let abstraction_conv =
   in
   Arg.conv (parse, print)
 
+let slicing_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Reach.parse_slicing s) in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | Reach.Off -> "off"
+      | Reach.Coi -> "coi"
+      | Reach.CoiMerge -> "coimerge")
+  in
+  Arg.conv (parse, print)
+
+let slicing_arg =
+  Arg.(
+    value
+    & opt slicing_conv (Reach.default_slicing ())
+    & info [ "slicing" ]
+        ~doc:
+          "query-directed model reduction before exploring: coimerge \
+           (cone-of-influence slice plus quasi-equal clock merging), coi \
+           (slice only) or off (oracle); default: the TAMC_SLICING \
+           environment variable, else coimerge")
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ta")
 
@@ -55,7 +77,7 @@ let load ?validate path =
   | Ita_ta.Network.Invalid_model m ->
       Error (Printf.sprintf "%s: invalid model: %s" path m)
 
-let run_check path order budget trace domains abstraction =
+let run_check path order budget trace domains abstraction slicing =
   match load path with
   | Error m ->
       prerr_endline m;
@@ -100,7 +122,9 @@ let run_check path order budget trace domains abstraction =
             | E.Reach_q q -> (
                 Format.printf "query %d: reach %a ... @?" i
                   (Ita_mc.Query.pp net) q;
-                match Reach.reach ~order ~budget ~abstraction ?domains net q
+                match
+                  Reach.reach ~order ~budget ~abstraction ?domains ~slicing net
+                    q
                 with
                 | Reach.Reachable { witness; stats; _ } ->
                     Format.printf "REACHABLE (%a)@." Reach.pp_stats stats;
@@ -115,7 +139,9 @@ let run_check path order budget trace domains abstraction =
                 Format.printf "query %d: sup %s at %a ... @?" i
                   net.Ita_ta.Network.clock_names.(clock)
                   (Ita_mc.Query.pp net) at;
-                match Wcrt.sup ~order ~abstraction ?domains net ~at ~clock with
+                match
+                  Wcrt.sup ~order ~abstraction ?domains ~slicing net ~at ~clock
+                with
                 | Wcrt.Sup { value; kind; stats } ->
                     Format.printf "%d%s (%a)@." value
                       (match kind with
@@ -174,7 +200,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"run the queries of a .ta file")
     Term.(
       const run_check $ file_arg $ order $ budget $ trace $ domains
-      $ abstraction)
+      $ abstraction $ slicing_arg)
 
 let run_show path =
   match load path with
@@ -213,7 +239,7 @@ let severity_conv =
 (* Clocks and variables the file's queries mention are observed from
    outside the model and must not count as unused/dead. *)
 let observed_of_queries queries =
-  let clocks = ref [] and vars = ref [] in
+  let comps = ref [] and clocks = ref [] and vars = ref [] in
   let add_guard (g : Ita_ta.Guard.t) =
     List.iter
       (fun (a : Ita_ta.Guard.atom) ->
@@ -222,15 +248,21 @@ let observed_of_queries queries =
       g.Ita_ta.Guard.clocks;
     vars := Ita_ta.Expr.bvars g.Ita_ta.Guard.data @ !vars
   in
+  let add_comps (q : Ita_mc.Query.t) =
+    comps := List.map fst q.Ita_mc.Query.comp_locs @ !comps
+  in
   List.iter
     (function
       | E.Deadlock_q -> ()
-      | E.Reach_q q -> add_guard q.Ita_mc.Query.guard
+      | E.Reach_q q ->
+          add_comps q;
+          add_guard q.Ita_mc.Query.guard
       | E.Sup_q { clock; at } ->
           clocks := clock :: !clocks;
+          add_comps at;
           add_guard at.Ita_mc.Query.guard)
     queries;
-  (!clocks, !vars)
+  (List.sort_uniq compare !comps, !clocks, !vars)
 
 (* map diagnostic sites to source positions through the elaborator's
    source map; shared by lint (file:line:col prefixes, deterministic
@@ -247,8 +279,12 @@ let run_lint path fail_on json =
       prerr_endline m;
       1
   | Ok { E.net; queries; srcmap } ->
-      let observed_clocks, observed_vars = observed_of_queries queries in
-      let findings = Lint.run ~observed_clocks ~observed_vars net in
+      let observed_comps, observed_clocks, observed_vars =
+        observed_of_queries queries
+      in
+      let findings =
+        Lint.run ~observed_comps ~observed_clocks ~observed_vars net
+      in
       let pos_str { Ita_tafmt.Ast.line; col } =
         Printf.sprintf "%s:%d:%d" path line col
       in
@@ -316,9 +352,58 @@ let flow_cmd =
           per-location variable intervals and global ranges")
     Term.(const run_flow $ file_arg)
 
+(* slice: report what the query-directed reduction removes or merges,
+   each removal mapped back to its declaration's source position. *)
+
+let run_slice path slicing =
+  match load path with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok { E.net; queries; srcmap } ->
+      let pos_str { Ita_tafmt.Ast.line; col } =
+        Printf.sprintf "%s:%d:%d" path line col
+      in
+      let resolve site = Option.map pos_str (site_pos srcmap site) in
+      if queries = [] then begin
+        print_endline "no queries in file";
+        0
+      end
+      else begin
+        List.iteri
+          (fun i q ->
+            match q with
+            | E.Deadlock_q ->
+                Format.printf
+                  "query %d: deadlock — whole-network property, not sliced@." i
+            | E.Reach_q q ->
+                Format.printf "query %d: reach %a@." i (Ita_mc.Query.pp net) q;
+                let sl, _, _ = Reach.slice_query slicing net q in
+                Ita_analysis.Slice.pp_report ~resolve Format.std_formatter sl
+            | E.Sup_q { clock; at } ->
+                Format.printf "query %d: sup %s at %a@." i
+                  net.Ita_ta.Network.clock_names.(clock)
+                  (Ita_mc.Query.pp net) at;
+                let sl, _, _ =
+                  Reach.slice_query slicing ~extra_clocks:[ clock ] net at
+                in
+                Ita_analysis.Slice.pp_report ~resolve Format.std_formatter sl)
+          queries;
+        0
+      end
+
+let slice_cmd =
+  Cmd.v
+    (Cmd.info "slice"
+       ~doc:
+         "report the query-directed model reduction: components, clocks \
+          and variables outside each query's cone of influence, \
+          quasi-equal clock merges and dead edges, with source positions")
+    Term.(const run_slice $ file_arg $ slicing_arg)
+
 let () =
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "tamc" ~doc:"timed-automata model checker for .ta files")
-          [ check_cmd; show_cmd; lint_cmd; flow_cmd ]))
+          [ check_cmd; show_cmd; slice_cmd; lint_cmd; flow_cmd ]))

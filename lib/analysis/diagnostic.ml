@@ -25,6 +25,7 @@ type pass =
   | Dead_edge
   | Trivial_guard
   | Sync_write_race
+  | Outside_cone
 
 type t = {
   pass : pass;
@@ -48,6 +49,7 @@ let pass_name = function
   | Dead_edge -> "dead-edge"
   | Trivial_guard -> "always-true-guard"
   | Sync_write_race -> "sync-write-race"
+  | Outside_cone -> "outside-query-cone"
 
 (* stable numeric pass id, part of the deterministic output order *)
 let pass_id = function
@@ -64,6 +66,7 @@ let pass_id = function
   | Dead_edge -> 10
   | Trivial_guard -> 11
   | Sync_write_race -> 12
+  | Outside_cone -> 13
 
 let severity_name = function
   | Hint -> "hint"

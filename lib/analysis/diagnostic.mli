@@ -36,6 +36,11 @@ type pass =
   | Dead_edge  (** edge can never fire under the interval analysis *)
   | Trivial_guard  (** non-trivial data guard that always evaluates true *)
   | Sync_write_race  (** write-write collision on a co-enabled sync pair *)
+  | Outside_cone
+      (** component outside the backward cone of influence of the
+          observed query — it can neither block, force nor retime
+          anything the query can see ({!Slice}); only emitted when
+          {!Lint.run} is given [observed_comps] *)
 
 type t = {
   pass : pass;

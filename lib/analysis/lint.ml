@@ -621,9 +621,39 @@ let race_pass fa (net : Network.t) =
            net.Network.automata.(si).Automaton.name))
     (List.sort_uniq compare (Flow.races fa))
 
+(* ---- outside-query-cone (semantic, slice-powered) ---- *)
+
+(* Only meaningful when the caller names observed components: without a
+   query there is no cone.  Merging is irrelevant to the removal set,
+   so the cheaper [Coi] mode is enough. *)
+let cone_pass fa ~observed_comps ~observed_clocks ~observed_vars
+    (net : Network.t) =
+  if observed_comps = [] then []
+  else
+    let goal =
+      {
+        Slice.g_comps = observed_comps;
+        g_clocks = observed_clocks;
+        g_vars = observed_vars;
+      }
+    in
+    let sl = Slice.make ~mode:Slice.Coi ~fa net goal in
+    List.map
+      (fun ci ->
+        mk
+          ~fix:
+            "drop the component from this analysis run, or connect it to \
+             the query through a synchronization, shared variable or clock"
+          D.Outside_cone D.Hint (D.Automaton_site ci)
+          "component is outside the query's cone of influence: it cannot \
+           block, force or retime anything the observed components, clocks \
+           or variables depend on")
+      sl.Slice.removed_comps
+
 (* ---- driver ---- *)
 
-let run ?(observed_clocks = []) ?(observed_vars = []) (net : Network.t) =
+let run ?(observed_comps = []) ?(observed_clocks = []) ?(observed_vars = [])
+    (net : Network.t) =
   let obs_c = Array.make (Array.length net.Network.clock_names) false in
   List.iter (fun x -> obs_c.(x) <- true) observed_clocks;
   let obs_v = Array.make (Array.length net.Network.var_names) false in
@@ -644,6 +674,7 @@ let run ?(observed_clocks = []) ?(observed_vars = []) (net : Network.t) =
          dead_edge_pass fa net;
          trivial_guard_pass fa net;
          race_pass fa net;
+         cone_pass fa ~observed_comps ~observed_clocks ~observed_vars net;
        ])
 
 (* Deterministic output order: findings with a source position first by

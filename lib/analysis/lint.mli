@@ -43,11 +43,17 @@
     - [sync-write-race] (semantic): sender and receiver of a
       co-enabled synchronization pair both assign the same shared
       variable — participants update sender-first, so the receiver's
-      value silently wins. *)
+      value silently wins;
+    - [outside-query-cone] (semantic, [Hint]): a component outside the
+      backward cone of influence of the observed query ({!Slice}) —
+      it cannot block, force or retime anything the observed
+      components, clocks or variables depend on, so the checker
+      removes it.  Only emitted when [observed_comps] is given. *)
 
 open Ita_ta
 
 val run :
+  ?observed_comps:int list ->
   ?observed_clocks:Guard.clock list ->
   ?observed_vars:Expr.var list ->
   Network.t ->
@@ -55,7 +61,9 @@ val run :
 (** [observed_clocks] / [observed_vars] are referenced from outside the
     model (reachability queries, WCRT sup measurements) and are exempt
     from the unused/never-reset/dead passes, as are clocks already
-    pinned by {!Network.bump_clock_bound}. *)
+    pinned by {!Network.bump_clock_bound}.  [observed_comps] are the
+    components a query watches; when given, the [outside-query-cone]
+    pass reports components the slicer would remove for that query. *)
 
 val output_order :
   ?pos:(Diagnostic.site -> (int * int) option) ->

@@ -23,7 +23,7 @@ type result = {
 }
 
 let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds
-    ?domains sys ~scenario ~requirement =
+    ?domains ?slicing sys ~scenario ~requirement =
   let s = Sysmodel.scenario sys scenario in
   let req = Scenario.requirement s requirement in
   let gen = Gen.generate ~measure:(scenario, req) sys in
@@ -39,7 +39,7 @@ let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds
     match method_ with
     | Exhaustive -> (
         match
-          Wcrt.sup ?order ?abstraction ?reduction ?bounds ?domains
+          Wcrt.sup ?order ?abstraction ?reduction ?bounds ?domains ?slicing
             ~initial_ceiling:(max 4 (4 * uncontended_us))
             gen.Gen.net ~at ~clock
         with
@@ -59,7 +59,7 @@ let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds
     | Binary { hi } -> (
         let r =
           Wcrt.binary_search ?order ?abstraction ?reduction ?bounds ?domains
-            ~hi gen.Gen.net ~at ~clock
+            ?slicing ~hi gen.Gen.net ~at ~clock
         in
         match (r.Wcrt.lower, r.Wcrt.upper) with
         | Some l, Some u when u = l + 1 ->
@@ -72,7 +72,7 @@ let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds
     | Structured_testing { order; budget; start; step } -> (
         let r =
           Wcrt.probe_lower ~order ?abstraction ?reduction ?bounds ?domains
-            gen.Gen.net ~at ~clock ~budget
+            ?slicing gen.Gen.net ~at ~clock ~budget
             ~start ~step
         in
         match r.Wcrt.lower with
@@ -97,7 +97,7 @@ type budget_report = {
 }
 
 let check_budgets ?method_ ?order ?abstraction ?reduction ?bounds ?domains
-    (sys : Sysmodel.t) =
+    ?slicing (sys : Sysmodel.t) =
   List.concat_map
     (fun (s : Scenario.t) ->
       List.filter_map
@@ -107,7 +107,7 @@ let check_budgets ?method_ ?order ?abstraction ?reduction ?bounds ?domains
           | Some budget ->
               let r =
                 wcrt ?method_ ?order ?abstraction ?reduction ?bounds ?domains
-                  sys ~scenario:s.Scenario.name
+                  ?slicing sys ~scenario:s.Scenario.name
                   ~requirement:req.Scenario.req_name
               in
               let verdict =

@@ -41,6 +41,7 @@ val wcrt :
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
   ?domains:int ->
+  ?slicing:Reach.slicing ->
   Sysmodel.t ->
   scenario:string ->
   requirement:string ->
@@ -70,6 +71,7 @@ val check_budgets :
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
   ?domains:int ->
+  ?slicing:Reach.slicing ->
   Sysmodel.t ->
   budget_report list
 (** The paper's framing — "does the product work, given a set of hard

@@ -15,7 +15,7 @@ let dir t = t.dir
 
 (* bump when Job.result or the key fields change shape: old entries
    become misses *)
-let version = "ita-dse-v5"
+let version = "ita-dse-v6"
 
 let job_key (spec : Job.spec) =
   let b = spec.Job.budget in
@@ -38,6 +38,10 @@ let job_key (spec : Job.spec) =
             (match b.Job.mc_bounds with
             | Ita_mc.Reach.Static -> "static"
             | Ita_mc.Reach.Flow -> "flow");
+            (match b.Job.mc_slicing with
+            | Ita_mc.Reach.Off -> "off"
+            | Ita_mc.Reach.Coi -> "coi"
+            | Ita_mc.Reach.CoiMerge -> "coimerge");
             opt string_of_int b.Job.mc_domains;
             string_of_int b.Job.sim_runs;
             string_of_int b.Job.sim_horizon_us;

@@ -25,6 +25,7 @@ type budget = {
   mc_abstraction : Reach.abstraction;
   mc_bounds : Reach.bounds;
   mc_domains : int option;
+  mc_slicing : Reach.slicing;
   sim_runs : int;
   sim_horizon_us : int;
 }
@@ -36,6 +37,7 @@ let default_budget =
     mc_abstraction = Reach.ExtraLU;
     mc_bounds = Reach.Flow;
     mc_domains = None;
+    mc_slicing = Reach.CoiMerge;
     sim_runs = 5;
     sim_horizon_us = 30_000_000;
   }
@@ -75,8 +77,9 @@ let run_mc spec =
   in
   match
     Wcrt.sup ~budget ~abstraction:spec.budget.mc_abstraction
-      ~bounds:spec.budget.mc_bounds ?domains:spec.budget.mc_domains gen.Gen.net
-      ~at:obs.Gen.seen ~clock:obs.Gen.obs_clock
+      ~bounds:spec.budget.mc_bounds ?domains:spec.budget.mc_domains
+      ~slicing:spec.budget.mc_slicing gen.Gen.net ~at:obs.Gen.seen
+      ~clock:obs.Gen.obs_clock
   with
   | Wcrt.Sup { value; kind = _; stats } ->
       { measure = Exact value; elapsed = stats.Reach.elapsed; explored = stats.Reach.explored }

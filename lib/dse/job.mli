@@ -28,13 +28,17 @@ type budget = {
           default, {!Ita_mc.Reach.default_domains}).  Sweeps running
           jobs on a shared domain pool pin this to [1] so the pool's
           parallelism is not multiplied by the engine's. *)
+  mc_slicing : Ita_mc.Reach.slicing;
+      (** query-directed model reduction applied before the
+          exploration ({!Ita_mc.Reach.slicing}); part of the cache
+          key. *)
   sim_runs : int;  (** simulation seeds *)
   sim_horizon_us : int;  (** simulated time per seed *)
 }
 
 val default_budget : budget
-(** Unlimited model checking under Extra+LU with flow-refined bounds;
-    5 simulation seeds of 30 s each. *)
+(** Unlimited model checking under Extra+LU with flow-refined bounds
+    and [CoiMerge] slicing; 5 simulation seeds of 30 s each. *)
 
 type spec = {
   sys : Sysmodel.t;

@@ -26,6 +26,10 @@ type abstraction = Semantics.abstraction = ExtraM | ExtraLU | LuSim
 type reduction = Semantics.reduction = None | Active
 type bounds = Static | Flow
 
+module Slice = Ita_analysis.Slice
+
+type slicing = Slice.mode = Off | Coi | CoiMerge
+
 type stats = {
   explored : int;
   stored : int;
@@ -43,31 +47,69 @@ type outcome =
   | Unreachable of stats
   | Budget_exhausted of stats
 
+(* The environment knobs (TAMC_DOMAINS / TAMC_ABSTRACTION /
+   TAMC_SLICING) are operator knobs, not an API: unrecognised values
+   fall back to the default rather than fail — but loudly, on stderr,
+   naming the valid values, so a typo like [extra+lu] can no longer
+   silently invalidate a whole CI leg.  The pure parsers are exposed
+   for the command-line converters and the unit tests. *)
+
+let parse_domains s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some _ | Option.None ->
+      Error "expected a positive integer (1 selects the sequential engine)"
+
+let parse_abstraction s =
+  match String.lowercase_ascii (String.trim s) with
+  | "extram" -> Ok ExtraM
+  | "extralu" -> Ok ExtraLU
+  | "lusim" -> Ok LuSim
+  | _ -> Error "valid values: extram, extralu, lusim"
+
+let parse_slicing s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Ok Off
+  | "coi" -> Ok Coi
+  | "coimerge" -> Ok CoiMerge
+  | _ -> Error "valid values: off, coi, coimerge"
+
+let warn_env var value err fallback =
+  Printf.eprintf "tamc: warning: %s=%S ignored (%s); using %s\n%!" var value
+    err fallback
+
+let env_knob var parse fallback_desc default =
+  match Sys.getenv_opt var with
+  | Option.None -> default ()
+  | Some s when String.trim s = "" -> default ()
+  | Some s -> (
+      match parse s with
+      | Ok v -> v
+      | Error err ->
+          warn_env var s err fallback_desc;
+          default ())
+
 (* The number of worker domains when the caller does not say: the
    TAMC_DOMAINS environment variable (so CI can force both engines over
    the whole test suite) or the machine's core count.  [1] selects the
-   sequential engine. *)
+   sequential engine; an invalid value falls back exactly like an unset
+   one. *)
 let default_domains () =
-  match Sys.getenv_opt "TAMC_DOMAINS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None -> 1)
-  | None -> max 1 (Domain.recommended_domain_count ())
+  env_knob "TAMC_DOMAINS" parse_domains "the machine's core count" (fun () ->
+      max 1 (Domain.recommended_domain_count ()))
 
 (* The abstraction when the caller does not say: the TAMC_ABSTRACTION
    environment variable (so CI can force the whole test suite through
-   any abstraction) or Extra+LU.  Unknown values fall back to the
-   default rather than fail: the variable is an operator knob, not an
-   API. *)
+   any abstraction) or Extra+LU. *)
 let default_abstraction () =
-  match Sys.getenv_opt "TAMC_ABSTRACTION" with
-  | Some s -> (
-      match String.lowercase_ascii (String.trim s) with
-      | "extram" -> ExtraM
-      | "lusim" -> LuSim
-      | "extralu" | _ -> ExtraLU)
-  | None -> ExtraLU
+  env_knob "TAMC_ABSTRACTION" parse_abstraction "extralu" (fun () -> ExtraLU)
+
+(* The model-reduction mode when the caller does not say: the
+   TAMC_SLICING environment variable (so CI can force the whole test
+   suite through the unsliced paths) or cone-of-influence slicing plus
+   quasi-equal clock merging. *)
+let default_slicing () =
+  env_knob "TAMC_SLICING" parse_slicing "coimerge" (fun () -> CoiMerge)
 
 (* Discrete states are interned under a packed key: locations and
    variables bit-packed into a short int array, each variable in
@@ -695,8 +737,47 @@ let run ?(order = Bfs) ?(budget = no_budget) ?abstraction
     Par.run ~order ~budget ~abstraction ~reduction ~lu_of ~domains net ~ranges
       ~goal ~on_store
 
-let reach ?order ?budget ?abstraction ?reduction ?bounds ?domains net
+(* The observation seed of a query's backward cone: its components, the
+   clocks its guard tests, the variables it reads. *)
+let goal_of_query ~extra_clocks (q : Query.t) : Slice.goal =
+  {
+    Slice.g_comps = List.map fst q.Query.comp_locs;
+    g_clocks =
+      extra_clocks
+      @ List.map
+          (fun (a : Guard.atom) -> a.Guard.clock)
+          q.Query.guard.Guard.clocks;
+    g_vars =
+      Expr.bvars q.Query.guard.Guard.data
+      @ List.concat_map
+          (fun (a : Guard.atom) -> Expr.ivars a.Guard.bound)
+          q.Query.guard.Guard.clocks;
+  }
+
+let slice_query mode ?(extra_clocks = []) net (q : Query.t) =
+  let sl = Slice.make ~mode net (goal_of_query ~extra_clocks q) in
+  let q' =
+    if sl.Slice.identity then q
+    else
+      {
+        Query.comp_locs =
+          List.map
+            (fun (ci, li) ->
+              match Slice.map_comp sl ci with
+              | Some ci' -> (ci', li)
+              | Option.None -> assert false (* goal components are kept *))
+            q.Query.comp_locs;
+        guard = Slice.map_guard sl q.Query.guard;
+      }
+  in
+  (sl, sl.Slice.net, q')
+
+let reach ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing net
     (q : Query.t) =
+  let mode =
+    match slicing with Some s -> s | Option.None -> default_slicing ()
+  in
+  let sl, net, q = slice_query mode net q in
   let net =
     List.fold_left
       (fun net (x, c) -> Network.bump_clock_bound net x c)
@@ -712,7 +793,16 @@ let reach ?order ?budget ?abstraction ?reduction ?bounds ?domains net
       ()
   with
   | Goal_found (witness, gz, stats), _ ->
-      Reachable { witness; goal_zone = gz; stats }
+      let witness =
+        List.map
+          (fun (st : step) ->
+            {
+              via = Option.map (Slice.unmap_label sl) st.via;
+              state = Slice.unmap_state sl st.state;
+            })
+          witness
+      in
+      Reachable { witness; goal_zone = Slice.unmap_zone sl gz; stats }
   | Space_exhausted stats, _ -> Unreachable stats
   | Out_of_budget stats, _ -> Budget_exhausted stats
 

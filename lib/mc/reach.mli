@@ -42,19 +42,65 @@ type bounds = Static | Flow
         and the declared ranges — the differential-testing oracle and
         the "flow off" column of the benchmark. *)
 
+type slicing = Ita_analysis.Slice.mode = Off | Coi | CoiMerge
+    (** Query-directed model reduction applied before exploration (see
+        {!Ita_analysis.Slice}).  The default everywhere is
+        {!default_slicing} (normally [CoiMerge]): components, variables
+        and clocks outside the query's backward cone of influence are
+        removed and quasi-equal clocks are merged, with byte-identical
+        verdicts and WCRTs.  [Coi] skips the merging; [Off] is the
+        differential-testing oracle. *)
+
 type budget = { max_states : int option; max_seconds : float option }
+
+val parse_domains : string -> (int, string) result
+(** Parse a [TAMC_DOMAINS]-style value: a positive integer, where [1]
+    selects the sequential engine.  The [Error] carries the valid-value
+    description the warning and the CLI converters print. *)
+
+val parse_abstraction : string -> (abstraction, string) result
+(** Parse a [TAMC_ABSTRACTION]-style value ([extram] / [extralu] /
+    [lusim], case-insensitive). *)
+
+val parse_slicing : string -> (slicing, string) result
+(** Parse a [TAMC_SLICING]-style value ([off] / [coi] / [coimerge],
+    case-insensitive). *)
 
 val default_domains : unit -> int
 (** Worker-domain count used when a caller passes no [?domains]: the
     [TAMC_DOMAINS] environment variable if set to a positive integer,
     else [Domain.recommended_domain_count ()].  [1] selects the
-    sequential engine. *)
+    sequential engine.  An unrecognised value falls back exactly like
+    an unset one — to the machine's core count — after a one-line
+    stderr warning naming the valid values. *)
 
 val default_abstraction : unit -> abstraction
 (** Abstraction used when a caller passes no [?abstraction]: the
     [TAMC_ABSTRACTION] environment variable ([extram] / [extralu] /
     [lusim], so CI can force the whole suite through any abstraction),
-    else [ExtraLU].  Unrecognised values fall back to [ExtraLU]. *)
+    else [ExtraLU].  Unrecognised values fall back to [ExtraLU] after
+    a one-line stderr warning naming the valid values. *)
+
+val default_slicing : unit -> slicing
+(** Slicing mode used when a caller passes no [?slicing]: the
+    [TAMC_SLICING] environment variable ([off] / [coi] / [coimerge],
+    so CI can force the whole suite through the unsliced paths), else
+    [CoiMerge].  Unrecognised values fall back to [CoiMerge] after a
+    one-line stderr warning naming the valid values. *)
+
+val slice_query :
+  slicing ->
+  ?extra_clocks:Guard.clock list ->
+  Network.t ->
+  Query.t ->
+  Ita_analysis.Slice.t * Network.t * Query.t
+(** [slice_query mode net q] computes the query-directed reduction of
+    [net] (the cone is seeded with the query's components, tested
+    clocks and read variables, plus [extra_clocks] — e.g. a measured
+    sup clock) and returns the slice, the reduced network and the
+    query translated into its index space.  Used by {!reach} and by
+    {!Wcrt}; exposed for the [tamc slice] report and the test
+    suites. *)
 
 val no_budget : budget
 val states : int -> budget
@@ -110,6 +156,7 @@ val reach :
   ?reduction:reduction ->
   ?bounds:bounds ->
   ?domains:int ->
+  ?slicing:slicing ->
   Network.t ->
   Query.t ->
   outcome
@@ -118,6 +165,14 @@ val reach :
     default [ExtraLU] the returned goal zone may be coarser than the
     exact reachable valuations (verdicts are unaffected); pass
     [~abstraction:ExtraM] when tight goal-zone bounds matter.
+
+    [?slicing] (default {!default_slicing}) reduces the network to the
+    query's cone of influence first; the verdict is unaffected.
+    Witnesses, states and the goal zone are translated back to the
+    original network's index space: removed components are shown at
+    their initial location, removed variables at their initial value,
+    removed clocks unconstrained, merged clocks equal to their
+    representative.
 
     [?domains] (default {!default_domains}) picks the engine:
     [1] is the exact sequential code path; [d > 1] explores with [d]

@@ -17,8 +17,21 @@ let goal_sup net (q : Query.t) clock (c : Semantics.config) =
   | None -> None
   | Some z -> Some (Dbm.sup z clock)
 
-let sup ?order ?budget ?abstraction ?reduction ?bounds ?domains
+let sup ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing
     ?(initial_ceiling = 1_000_000) ?(max_ceiling = 1 lsl 40) net ~at ~clock =
+  (* slice once, before the ceiling loop: the cone is seeded with the
+     goal plus the measured clock, so the sup is taken over exactly the
+     same runs — the exploration below runs on the reduced network and
+     needs no index translation of its own *)
+  let mode =
+    match slicing with Some s -> s | None -> Reach.default_slicing ()
+  in
+  let sl, net, at = Reach.slice_query mode ~extra_clocks:[ clock ] net at in
+  let clock =
+    match Ita_analysis.Slice.map_clock sl clock with
+    | Some c -> c
+    | None -> assert false (* the measured clock seeds the cone *)
+  in
   let rec attempt ceiling =
     let best = ref None in
     let improve b =
@@ -71,13 +84,14 @@ type search_result = {
   total_elapsed : float;
 }
 
-let check ?order ?budget ?abstraction ?reduction ?bounds ?domains net
+let check ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing net
     (at : Query.t) clock c =
   let q = Query.with_guard at (Guard.clock_ge clock c) in
-  Reach.reach ?order ?budget ?abstraction ?reduction ?bounds ?domains net q
+  Reach.reach ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing
+    net q
 
 let binary_search ?order ?budget ?abstraction ?reduction ?bounds ?domains
-    ?(hi = 1_000_000) net ~at ~clock =
+    ?slicing ?(hi = 1_000_000) net ~at ~clock =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
     incr runs;
@@ -96,8 +110,8 @@ let binary_search ?order ?budget ?abstraction ?reduction ?bounds ?domains
   let exception Stop of search_result in
   let test c =
     match
-      check ?order ?budget ?abstraction ?reduction ?bounds ?domains net at
-        clock c
+      check ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing
+        net at clock c
     with
     | Reach.Reachable { stats; _ } ->
         note stats;
@@ -143,8 +157,8 @@ let binary_search ?order ?budget ?abstraction ?reduction ?bounds ?domains
     result (Some !lo) (Some !up)
   with Stop r -> r
 
-let probe_lower ?order ?abstraction ?reduction ?bounds ?domains net ~at
-    ~clock ~budget ~start ~step =
+let probe_lower ?order ?abstraction ?reduction ?bounds ?domains ?slicing net
+    ~at ~clock ~budget ~start ~step =
   let runs = ref 0 and explored = ref 0 and elapsed = ref 0.0 in
   let note (s : Reach.stats) =
     incr runs;
@@ -156,8 +170,8 @@ let probe_lower ?order ?abstraction ?reduction ?bounds ?domains net ~at
   let continue = ref true in
   while !continue do
     match
-      check ?order ?abstraction ?reduction ?bounds ?domains ~budget net at
-        clock !c
+      check ?order ?abstraction ?reduction ?bounds ?domains ?slicing ~budget
+        net at clock !c
     with
     | Reach.Reachable { stats; _ } ->
         note stats;

@@ -39,6 +39,7 @@ val sup :
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
   ?domains:int ->
+  ?slicing:Reach.slicing ->
   ?initial_ceiling:int ->
   ?max_ceiling:int ->
   Network.t ->
@@ -49,7 +50,11 @@ val sup :
     supremum of [clock] over goal states.  The extrapolation ceiling
     for the measured clock starts at [initial_ceiling] (default
     [1_000_000]) and is multiplied by 4 until the sup falls strictly
-    below it, which guarantees soundness of the abstraction. *)
+    below it, which guarantees soundness of the abstraction.
+
+    [?slicing] (default {!Reach.default_slicing}) reduces the network
+    to the cone of the goal plus the measured clock before exploring;
+    the supremum is unchanged. *)
 
 type search_result = {
   lower : int option;  (** largest [C] with [goal && clock >= C] reachable *)
@@ -66,6 +71,7 @@ val binary_search :
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
   ?domains:int ->
+  ?slicing:Reach.slicing ->
   ?hi:int ->
   Network.t ->
   at:Query.t ->
@@ -81,6 +87,7 @@ val probe_lower :
   ?reduction:Reach.reduction ->
   ?bounds:Reach.bounds ->
   ?domains:int ->
+  ?slicing:Reach.slicing ->
   Network.t ->
   at:Query.t ->
   clock:Guard.clock ->

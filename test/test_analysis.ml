@@ -494,9 +494,87 @@ let test_lint_total_random =
       ignore (Format.asprintf "%a" (Lint.pp_report net) findings);
       true)
 
+(* ------------------------------------------------------------------ *)
+(* Satellite: golden file pinning the [lint --json] schema — the exact
+   bytes [tamc lint --json flow_demo.ta] prints, positions and query-
+   derived observations included.  A schema change (new field, renamed
+   pass, different ordering) must consciously regenerate
+   lint_golden.json.                                                   *)
+
+let fixture name =
+  match List.find_opt Sys.file_exists [ name; "../test/" ^ name ] with
+  | Some p -> p
+  | Option.None -> Alcotest.failf "fixture %s not found" name
+
+(* mirrors tamc's observed_of_queries: what the model's own queries
+   watch feeds the cone pass and the unused/never-reset exemptions *)
+let observed_of_queries queries =
+  let comps = ref [] and clocks = ref [] and vars = ref [] in
+  let add_guard (g : Guard.t) =
+    List.iter
+      (fun (a : Guard.atom) ->
+        clocks := a.Guard.clock :: !clocks;
+        vars := Expr.ivars a.Guard.bound @ !vars)
+      g.Guard.clocks;
+    vars := Expr.bvars g.Guard.data @ !vars
+  in
+  let add_comps (q : Query.t) =
+    comps := List.map fst q.Query.comp_locs @ !comps
+  in
+  List.iter
+    (function
+      | E.Deadlock_q -> ()
+      | E.Reach_q q ->
+          add_comps q;
+          add_guard q.Query.guard
+      | E.Sup_q { clock; at } ->
+          clocks := clock :: !clocks;
+          add_comps at;
+          add_guard at.Query.guard)
+    queries;
+  (List.sort_uniq compare !comps, !clocks, !vars)
+
+let test_lint_json_golden () =
+  let { E.net; queries; srcmap } =
+    E.load_file ~validate:false (fixture "flow_demo.ta")
+  in
+  let observed_comps, observed_clocks, observed_vars =
+    observed_of_queries queries
+  in
+  let findings =
+    Lint.run ~observed_comps ~observed_clocks ~observed_vars net
+  in
+  let site_pos = function
+    | D.Automaton_site i -> Some srcmap.E.proc_pos.(i)
+    | D.Location_site { comp; loc } -> Some srcmap.E.loc_pos.(comp).(loc)
+    | D.Edge_site { comp; edge } -> Some srcmap.E.edge_pos.(comp).(edge)
+    | D.Network_site | D.Clock_site _ | D.Var_site _ | D.Channel_site _ ->
+        Option.None
+  in
+  let resolve site =
+    Option.map
+      (fun { Ita_tafmt.Ast.line; col } ->
+        Printf.sprintf "flow_demo.ta:%d:%d" line col)
+      (site_pos site)
+  in
+  let pos site =
+    Option.map
+      (fun { Ita_tafmt.Ast.line; col } -> (line, col))
+      (site_pos site)
+  in
+  let json = Lint.to_json ~resolve ~pos net findings in
+  let golden =
+    In_channel.with_open_bin (fixture "lint_golden.json")
+      In_channel.input_all
+  in
+  Alcotest.(check string) "lint --json bytes" golden json
+
 let () =
   Alcotest.run "analysis"
     [
+      ( "golden",
+        [ Alcotest.test_case "lint --json schema" `Quick test_lint_json_golden ]
+      );
       ( "passes",
         [
           Alcotest.test_case "unused clock" `Quick test_unused_clock;

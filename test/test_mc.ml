@@ -593,9 +593,137 @@ let test_random_nets_agree =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Satellite: the operator knobs — pure parsers, and the TAMC_*
+   environment fallbacks.  Unset, blank and invalid values must all
+   resolve to the same built-in default (invalid ones additionally
+   warn on stderr; the fallback itself is what these tests pin).       *)
+
+let with_env var value f =
+  let saved = Sys.getenv_opt var in
+  Unix.putenv var value;
+  (* [env_knob] treats a blank value exactly like an unset one, so
+     restoring to "" is a faithful undo even when the variable was
+     absent before (putenv cannot unset). *)
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv var (match saved with Some s -> s | Option.None -> ""))
+    f
+
+let test_parse_domains () =
+  let ok input expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "parse_domains %S" input)
+      true
+      (Reach.parse_domains input = Ok expected)
+  and err input =
+    Alcotest.(check bool)
+      (Printf.sprintf "parse_domains %S rejected" input)
+      true
+      (match Reach.parse_domains input with Error _ -> true | Ok _ -> false)
+  in
+  ok "1" 1;
+  ok " 8 " 8;
+  ok "16" 16;
+  err "0";
+  err "-3";
+  err "two";
+  err ""
+
+let test_parse_abstraction () =
+  let ok input expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "parse_abstraction %S" input)
+      true
+      (Reach.parse_abstraction input = Ok expected)
+  and err input =
+    Alcotest.(check bool)
+      (Printf.sprintf "parse_abstraction %S rejected" input)
+      true
+      (match Reach.parse_abstraction input with
+      | Error _ -> true
+      | Ok _ -> false)
+  in
+  ok "extram" Reach.ExtraM;
+  ok "ExtraLU" Reach.ExtraLU;
+  ok " lusim " Reach.LuSim;
+  err "extra+lu";
+  err "m";
+  err ""
+
+let test_parse_slicing () =
+  let ok input expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "parse_slicing %S" input)
+      true
+      (Reach.parse_slicing input = Ok expected)
+  and err input =
+    Alcotest.(check bool)
+      (Printf.sprintf "parse_slicing %S rejected" input)
+      true
+      (match Reach.parse_slicing input with Error _ -> true | Ok _ -> false)
+  in
+  ok "off" Reach.Off;
+  ok "COI" Reach.Coi;
+  ok " CoiMerge " Reach.CoiMerge;
+  err "cone";
+  err "on";
+  err ""
+
+let test_default_domains_env () =
+  let fallback = max 1 (Domain.recommended_domain_count ()) in
+  with_env "TAMC_DOMAINS" "3" (fun () ->
+      Alcotest.(check int) "honored" 3 (Reach.default_domains ()));
+  List.iter
+    (fun bad ->
+      with_env "TAMC_DOMAINS" bad (fun () ->
+          Alcotest.(check int)
+            (Printf.sprintf "%S falls back like unset" bad)
+            fallback
+            (Reach.default_domains ())))
+    [ ""; "  "; "0"; "-2"; "bogus" ]
+
+let test_default_abstraction_env () =
+  with_env "TAMC_ABSTRACTION" "lusim" (fun () ->
+      Alcotest.(check bool) "honored" true
+        (Reach.default_abstraction () = Reach.LuSim));
+  List.iter
+    (fun bad ->
+      with_env "TAMC_ABSTRACTION" bad (fun () ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S falls back to extralu" bad)
+            true
+            (Reach.default_abstraction () = Reach.ExtraLU)))
+    [ ""; "extra+lu"; "none" ]
+
+let test_default_slicing_env () =
+  with_env "TAMC_SLICING" "off" (fun () ->
+      Alcotest.(check bool) "honored" true
+        (Reach.default_slicing () = Reach.Off));
+  List.iter
+    (fun bad ->
+      with_env "TAMC_SLICING" bad (fun () ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S falls back to coimerge" bad)
+            true
+            (Reach.default_slicing () = Reach.CoiMerge)))
+    [ ""; "banana"; "merge" ]
+
 let () =
   Alcotest.run "mc"
     [
+      ( "knobs",
+        [
+          Alcotest.test_case "parse domains" `Quick test_parse_domains;
+          Alcotest.test_case "parse abstraction" `Quick test_parse_abstraction;
+          Alcotest.test_case "parse slicing" `Quick test_parse_slicing;
+          Alcotest.test_case "TAMC_DOMAINS fallback" `Quick
+            test_default_domains_env;
+          Alcotest.test_case "TAMC_ABSTRACTION fallback" `Quick
+            test_default_abstraction_env;
+          Alcotest.test_case "TAMC_SLICING fallback" `Quick
+            test_default_slicing_env;
+        ] );
       ( "reach",
         [
           Alcotest.test_case "reachable (bfs)" `Quick (test_reachable Reach.Bfs);
