@@ -68,6 +68,51 @@ type slice_run = {
   clocks_after : int;  (* same, on the sliced network *)
 }
 
+type cert_run = {
+  cert_states : int;  (* antichain entries in the certificate *)
+  cert_check_ms : float;  (* independent checker wall-clock *)
+  cert_explore_s : float;  (* the producing exploration's wall-clock *)
+  cert_ok : bool;  (* the checker accepted the certificate *)
+}
+
+(* Certificate column: re-run the Extra+LU sup-query with snapshot
+   capture, emit the certificate and time the independent checker.
+   Only sup-query cells carry it — raw explorations have no verdict to
+   certify. *)
+let certify_sup net ~at ~clock =
+  let module Cert = Ita_cert.Cert in
+  let module Cert_emit = Ita_mc.Cert_emit in
+  let snap = ref Option.None in
+  match
+    Wcrt.sup ~abstraction:Reach.ExtraLU ~domains:1 ~slicing:Reach.Off
+      ~snap:(fun s -> snap := Some s)
+      net ~at ~clock
+  with
+  | Wcrt.Sup { value; kind; stats } ->
+      let kind =
+        match kind with
+        | Wcrt.Attained -> Cert.Attained
+        | Wcrt.Approached -> Cert.Approached
+      in
+      let qc =
+        Cert_emit.of_snapshot ~index:0
+          ~verdict:(Cert.Sup { clock; value; kind })
+          (Option.get !snap)
+      in
+      let goal = Cert_emit.goal_of_query at in
+      let t0 = Unix.gettimeofday () in
+      let r = Cert.check net ~goal qc in
+      Some
+        {
+          cert_states = List.length qc.Cert.entries;
+          cert_check_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+          cert_explore_s = stats.Reach.elapsed;
+          cert_ok = (match r with Ok _ -> true | Error _ -> false);
+        }
+  | Wcrt.Goal_unreachable _ | Wcrt.Sup_budget_exhausted _
+  | Wcrt.Sup_unbounded _ ->
+      Option.None
+
 type cell = {
   name : string;
   kind : string;
@@ -85,6 +130,9 @@ type cell = {
          multi-core hosts and only for cells big enough to amortize
          the domain-spawn overhead, so the speedup column never
          reports noise *)
+  cert : cert_run option;
+      (* certificate emission + independent check; sup-query cells
+         only *)
 }
 
 (* every baseline column is pinned to the sequential engine so the
@@ -172,6 +220,7 @@ let radionav_cell (row : R.row) column =
     extralu_noflow = sup ~bounds:Reach.Static Reach.ExtraLU;
     slice;
     parallel;
+    cert = certify_sup gen.Gen.net ~at:obs.Gen.seen ~clock:obs.Gen.obs_clock;
   }
 
 let radionav_cells () =
@@ -299,6 +348,7 @@ let sporadic_cell n =
     extralu_noflow = explore ~bounds:Reach.Static Reach.ExtraLU;
     slice = Option.None;
     parallel;
+    cert = Option.None;
   }
 
 let ring_cells () =
@@ -423,6 +473,7 @@ let station_cell n =
     extralu_noflow = sup ~bounds:Reach.Static Reach.ExtraLU;
     slice;
     parallel = Option.None;
+    cert = certify_sup net ~at ~clock;
   }
 
 let station_cells () =
@@ -485,6 +536,15 @@ let json_cell buf c =
            (float_of_int sr.clocks_after /. float_of_int sr.clocks_before));
       json_run buf sr.sliced;
       Buffer.add_string buf ", ");
+  (match c.cert with
+  | None ->
+      Buffer.add_string buf
+        {|"cert_check_ms": null, "cert_states": null, "cert_ok": null, |}
+  | Some cr ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|"cert_check_ms": %.2f, "cert_states": %d, "cert_ok": %b, |}
+           cr.cert_check_ms cr.cert_states cr.cert_ok));
   (match c.parallel with
   | None ->
       Buffer.add_string buf
@@ -591,6 +651,13 @@ let () =
              else
                Printf.sprintf "MISMATCH %s vs %s" c.extralu.result
                  sr.sliced.result));
+      (match c.cert with
+      | None -> ()
+      | Some cr ->
+          Printf.printf
+            "%-40s cert %5d states  check %.1f ms  explore %.1f ms  [%s]\n%!"
+            "" cr.cert_states cr.cert_check_ms (cr.cert_explore_s *. 1000.)
+            (if cr.cert_ok then "certified" else "REJECTED"));
       match c.parallel with
       | None -> ()
       | Some p ->
@@ -680,6 +747,11 @@ let () =
   Buffer.add_string buf
     (Printf.sprintf {|  "host_cores": %d,|}
        (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "\n";
+  (* the certificate format the cert_* columns were produced under, so
+     a checked-in BENCH_mc.json names the schema it measured *)
+  Buffer.add_string buf
+    (Printf.sprintf {|  "cert_format_version": %d,|} Ita_cert.Cert.version);
   Buffer.add_string buf "\n";
   (* the producing commit, alongside host_cores, so the numbers are
      attributable from the JSON alone *)
@@ -799,5 +871,41 @@ let () =
       "ERROR: slicing shows no strict win on the station family \
        (ratio %.4f)\n"
       station_slice_ratio;
+    exit 1
+  end;
+  let cert_rejections =
+    List.filter
+      (fun c -> match c.cert with Some cr -> not cr.cert_ok | None -> false)
+      cells
+  in
+  if cert_rejections <> [] then begin
+    Printf.eprintf "ERROR: %d cells had their certificate REJECTED\n"
+      (List.length cert_rejections);
+    exit 1
+  end;
+  (* certification must stay within 5x the producing exploration's
+     wall-clock per cell; sub-50ms explorations are floored so timer
+     noise on trivial cells cannot trip the gate *)
+  let cert_blowups =
+    List.filter
+      (fun c ->
+        match c.cert with
+        | Some cr ->
+            cr.cert_check_ms > 5. *. Float.max (cr.cert_explore_s *. 1000.) 50.
+        | None -> false)
+      cells
+  in
+  if cert_blowups <> [] then begin
+    List.iter
+      (fun c ->
+        match c.cert with
+        | Some cr ->
+            Printf.eprintf "  %s: check %.1f ms vs explore %.1f ms\n" c.name
+              cr.cert_check_ms (cr.cert_explore_s *. 1000.)
+        | None -> ())
+      cert_blowups;
+    Printf.eprintf
+      "ERROR: %d cells exceeded 5x exploration time in certification\n"
+      (List.length cert_blowups);
     exit 1
   end

@@ -163,7 +163,7 @@ let domains_arg =
 (* ------------------------------------------------------------------ *)
 
 let run_wcrt combo column scenario requirement order seed budget probe_start_ms
-    abstraction bounds domains slicing =
+    abstraction bounds domains slicing certify cert_out =
   let order = seeded_order order seed in
   let sys = R.system combo column in
   let method_ =
@@ -179,14 +179,31 @@ let run_wcrt combo column scenario requirement order seed budget probe_start_ms
           }
   in
   let r =
-    Analyze.wcrt ~method_ ~order ~abstraction ~bounds ?domains ~slicing sys
-      ~scenario ~requirement
+    Analyze.wcrt ~method_ ~order ~abstraction ~bounds ?domains ~slicing
+      ~certify ?cert_out sys ~scenario ~requirement
   in
   Format.printf "%s %s/%s [%s]: uncontended %a ms, wcrt %a ms (%d states, %.2fs)@."
     (match combo with R.Cv_tmc -> "cv" | R.Al_tmc -> "al")
     scenario requirement (R.column_name column) Units.pp_ms
     r.Analyze.uncontended_us Analyze.pp_outcome r.Analyze.outcome
-    r.Analyze.explored r.Analyze.elapsed
+    r.Analyze.explored r.Analyze.elapsed;
+  (match cert_out with
+  | Some path when r.Analyze.certified <> None || not certify ->
+      Format.printf "wrote certificate to %s@." path
+  | _ -> ());
+  match r.Analyze.certified with
+  | None ->
+      if certify then
+        Format.printf
+          "not certified: no exact WCRT verdict to build an invariant from@."
+  | Some (Ok st) ->
+      Format.printf "certified (%d states, %d successor checks)@."
+        st.Ita_cert.Cert.checked_states st.Ita_cert.Cert.checked_zones
+  | Some (Error f) ->
+      Format.printf "certificate REJECTED [%s] %s@."
+        (Ita_cert.Cert.obligation_name f.Ita_cert.Cert.obligation)
+        f.Ita_cert.Cert.message;
+      exit (Ita_cert.Cert.exit_code f.Ita_cert.Cert.obligation)
 
 let wcrt_cmd =
   let scenario =
@@ -200,11 +217,31 @@ let wcrt_cmd =
       value & opt float 100.0
       & info [ "probe-start-ms" ] ~doc:"first probed bound (ms)")
   in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "re-validate the WCRT verdict in process with the independent \
+             certificate checker (naive reference semantics, no shared \
+             exploration code); a rejected certificate exits with the failed \
+             obligation's code")
+  in
+  let cert_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ]
+          ~doc:
+            "also write the WCRT certificate to $(docv) for offline \
+             validation"
+          ~docv:"FILE")
+  in
   Cmd.v (Cmd.info "wcrt" ~doc:"model-check one requirement")
     Term.(
       const run_wcrt $ combo_arg $ column_arg $ scenario $ requirement
       $ order_arg $ seed_arg $ budget_arg $ probe_start $ abstraction_arg
-      $ bounds_arg $ domains_arg $ slicing_arg)
+      $ bounds_arg $ domains_arg $ slicing_arg $ certify $ cert_out)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -498,8 +535,8 @@ let technique_conv =
 
 let run_explore combo column scenario requirement techniques mmi_mips rad_mips
     nav_mips bus_kbps decode_on jobs timeout_s cache_dir no_cache mc_states
-    mc_seconds mc_abstraction mc_bounds mc_domains mc_slicing sim_runs
-    sim_horizon_s inject_crash isolation =
+    mc_seconds mc_abstraction mc_bounds mc_domains mc_slicing mc_certify
+    sim_runs sim_horizon_s inject_crash isolation =
   let open Ita_dse in
   let space =
     Spaces.radionav ~combo ~column ~mmi_mips ~rad_mips ~nav_mips ~bus_kbps
@@ -514,6 +551,7 @@ let run_explore combo column scenario requirement techniques mmi_mips rad_mips
       mc_bounds;
       mc_domains;
       mc_slicing;
+      mc_certify;
       sim_runs;
       sim_horizon_us = int_of_float (sim_horizon_s *. 1e6);
     }
@@ -586,6 +624,15 @@ let explore_cmd =
       & opt (some float) None
       & info [ "mc-seconds" ] ~doc:"time budget per model-checking job")
   in
+  let mc_certify =
+    Arg.(
+      value & flag
+      & info [ "mc-certify" ]
+          ~doc:
+            "re-validate every exact model-checking verdict with the \
+             independent certificate checker before it enters the Pareto \
+             front; rejected certificates demote the cell to failed")
+  in
   let sim_runs =
     Arg.(value & opt int 5 & info [ "sim-runs" ] ~doc:"simulation seeds per job")
   in
@@ -656,8 +703,8 @@ let explore_cmd =
       const run_explore $ combo $ column $ scenario $ requirement
       $ techniques $ mmi $ rad $ nav $ bus $ decode_on $ jobs $ timeout
       $ cache_dir $ no_cache $ mc_states $ mc_seconds $ abstraction_arg
-      $ bounds_arg $ mc_domains $ slicing_arg $ sim_runs $ sim_horizon
-      $ inject_crash $ isolation)
+      $ bounds_arg $ mc_domains $ slicing_arg $ mc_certify $ sim_runs
+      $ sim_horizon $ inject_crash $ isolation)
 
 (* ------------------------------------------------------------------ *)
 (* lint: static analysis of the generated networks                     *)

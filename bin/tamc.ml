@@ -1,9 +1,13 @@
 (* tamc: a small standalone model checker for .ta files — check the
-   file's reach/sup queries or dump the parsed network. *)
+   file's reach/sup queries (optionally emitting verdict certificates),
+   certify a previously emitted certificate with the independent
+   checker, or dump the parsed network. *)
 
 open Cmdliner
 module Reach = Ita_mc.Reach
 module Wcrt = Ita_mc.Wcrt
+module Cert = Ita_cert.Cert
+module Cert_emit = Ita_mc.Cert_emit
 module E = Ita_tafmt.Elaborate
 
 let order_conv =
@@ -77,7 +81,7 @@ let load ?validate path =
   | Ita_ta.Network.Invalid_model m ->
       Error (Printf.sprintf "%s: invalid model: %s" path m)
 
-let run_check path order budget trace domains abstraction slicing =
+let run_check path order budget trace domains abstraction slicing cert_out =
   match load path with
   | Error m ->
       prerr_endline m;
@@ -94,6 +98,34 @@ let run_check path order budget trace domains abstraction slicing =
           | Some n -> Reach.states n
         in
         let failed = ref 0 in
+        (* per-query certificates, in file order; queries whose verdict
+           cannot be certified (deadlock probes, exhausted budgets,
+           unbounded sups) are skipped with a note.  TAMC_CERT
+           additionally re-validates each certificate in process the
+           moment it is emitted. *)
+        let self_certify =
+          match Sys.getenv_opt "TAMC_CERT" with
+          | None -> false
+          | Some s -> ( match String.trim s with "" | "0" -> false | _ -> true)
+        in
+        let want_cert = cert_out <> None || self_certify in
+        let certs = ref [] in
+        let certify ~goal (qc : Cert.query_cert) =
+          certs := qc :: !certs;
+          if self_certify then
+            match Cert.check net ~goal qc with
+            | Ok _ -> Format.printf "query %d: self-certified@." qc.Cert.index
+            | Error f ->
+                incr failed;
+                Format.printf "query %d: certificate REJECTED [%s] %s@."
+                  qc.Cert.index
+                  (Cert.obligation_name f.Cert.obligation)
+                  f.Cert.message
+        in
+        let skip_cert i what =
+          if want_cert then
+            Format.printf "query %d: note: %s, not certified@." i what
+        in
         List.iteri
           (fun i q ->
             match q with
@@ -108,6 +140,7 @@ let run_check path order budget trace domains abstraction slicing =
                         && Ita_ta.Semantics.successors net cfg = []
                       then dead := Some cfg.Ita_ta.Semantics.state)
                 in
+                skip_cert i "deadlock queries have no certificate format";
                 match (!dead, result) with
                 | Some st, _ ->
                     Format.printf "DEADLOCK at ";
@@ -122,46 +155,97 @@ let run_check path order budget trace domains abstraction slicing =
             | E.Reach_q q -> (
                 Format.printf "query %d: reach %a ... @?" i
                   (Ita_mc.Query.pp net) q;
+                let last_snap = ref None in
+                let snap =
+                  if want_cert then Some (fun s -> last_snap := Some s)
+                  else None
+                in
                 match
-                  Reach.reach ~order ~budget ~abstraction ?domains ~slicing net
-                    q
+                  Reach.reach ~order ~budget ~abstraction ?domains ~slicing
+                    ?snap net q
                 with
                 | Reach.Reachable { witness; stats; _ } ->
                     Format.printf "REACHABLE (%a)@." Reach.pp_stats stats;
-                    if trace then Reach.pp_witness net Format.std_formatter witness
-                | Reach.Unreachable stats ->
-                    Format.printf "unreachable (%a)@." Reach.pp_stats stats
+                    if trace then
+                      Reach.pp_witness net Format.std_formatter witness;
+                    if want_cert then
+                      certify
+                        ~goal:(Cert_emit.goal_of_query q)
+                        (Cert_emit.of_witness ~index:i
+                           (List.filter_map
+                              (fun (s : Reach.step) -> s.Reach.via)
+                              witness))
+                | Reach.Unreachable stats -> (
+                    Format.printf "unreachable (%a)@." Reach.pp_stats stats;
+                    match !last_snap with
+                    | Some s ->
+                        certify
+                          ~goal:(Cert_emit.goal_of_query q)
+                          (Cert_emit.of_snapshot ~index:i
+                             ~verdict:Cert.Unreachable s)
+                    | None -> ())
                 | Reach.Budget_exhausted stats ->
                     incr failed;
+                    skip_cert i "no verdict";
                     Format.printf "UNKNOWN: budget exhausted (%a)@."
                       Reach.pp_stats stats)
             | E.Sup_q { clock; at } -> (
                 Format.printf "query %d: sup %s at %a ... @?" i
                   net.Ita_ta.Network.clock_names.(clock)
                   (Ita_mc.Query.pp net) at;
+                let last_snap = ref None in
+                let snap =
+                  if want_cert then Some (fun s -> last_snap := Some s)
+                  else None
+                in
                 match
-                  Wcrt.sup ~order ~abstraction ?domains ~slicing net ~at ~clock
+                  Wcrt.sup ~order ~abstraction ?domains ~slicing ?snap net ~at
+                    ~clock
                 with
-                | Wcrt.Sup { value; kind; stats } ->
+                | Wcrt.Sup { value; kind; stats } -> (
                     Format.printf "%d%s (%a)@." value
                       (match kind with
                       | Wcrt.Attained -> ""
                       | Wcrt.Approached -> " (approached)")
-                      Reach.pp_stats stats
+                      Reach.pp_stats stats;
+                    match !last_snap with
+                    | Some s ->
+                        let kind =
+                          match kind with
+                          | Wcrt.Attained -> Cert.Attained
+                          | Wcrt.Approached -> Cert.Approached
+                        in
+                        certify
+                          ~goal:(Cert_emit.goal_of_query at)
+                          (Cert_emit.of_snapshot ~index:i
+                             ~verdict:(Cert.Sup { clock; value; kind })
+                             s)
+                    | None -> if want_cert then skip_cert i "no snapshot surfaced")
                 | Wcrt.Goal_unreachable stats ->
+                    skip_cert i "goal unreachable: sup has no value to certify";
                     Format.printf "location unreachable (%a)@." Reach.pp_stats
                       stats
                 | Wcrt.Sup_unbounded { ceiling; stats } ->
+                    incr failed;
+                    skip_cert i "no bounded verdict";
                     Format.printf "unbounded (beyond %d; %a)@." ceiling
                       Reach.pp_stats stats
                 | Wcrt.Sup_budget_exhausted { observed; stats } ->
                     incr failed;
+                    skip_cert i "no verdict";
                     Format.printf "UNKNOWN: budget exhausted (saw %s; %a)@."
                       (match observed with
                       | Some v -> string_of_int v
                       | None -> "nothing")
                       Reach.pp_stats stats))
           queries;
+        (match cert_out with
+        | None -> ()
+        | Some path ->
+            let t = Cert_emit.make net (List.rev !certs) in
+            Cert.save path t;
+            Format.printf "wrote %d certificate(s) to %s@."
+              (List.length !certs) path);
         if !failed > 0 then 2 else 0
       end
 
@@ -196,11 +280,182 @@ let check_cmd =
              extram (oracle); default: the TAMC_ABSTRACTION environment \
              variable, else extralu")
   in
+  let cert_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ]
+          ~doc:
+            "write an independently checkable certificate for every \
+             certified verdict to $(docv); verify it with $(b,tamc \
+             certify)"
+          ~docv:"FILE")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"run the queries of a .ta file")
     Term.(
       const run_check $ file_arg $ order $ budget $ trace $ domains
-      $ abstraction $ slicing_arg)
+      $ abstraction $ slicing_arg $ cert_out)
+
+(* certify: re-elaborate the model from source and verify a previously
+   emitted certificate with the independent checker ([Ita_cert]).
+   Exit codes: 0 = everything certified; 1 = I/O or usage errors; 3-9 =
+   the first failed obligation ([Cert.exit_code]): format 3,
+   fingerprint 4, mask 5, initiation 6, consecution 7, judgment 8,
+   witness 9. *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let run_certify path cert_path json =
+  match load path with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok { E.net; queries; _ } -> (
+      match Cert.load cert_path with
+      | Error f ->
+          if json then
+            Printf.printf
+              "{\"certificate\": %s, \"fingerprint-ok\": false, \
+               \"results\": [{\"status\": \"failed\", \"obligation\": %s, \
+               \"detail\": %s}]}\n"
+              (json_string cert_path)
+              (json_string (Cert.obligation_name f.Cert.obligation))
+              (json_string f.Cert.message)
+          else
+            Printf.printf "FAILED [%s] %s\n"
+              (Cert.obligation_name f.Cert.obligation)
+              f.Cert.message;
+          Cert.exit_code f.Cert.obligation
+      | Ok t ->
+          let fp_ok = Cert.fingerprint net = t.Cert.fingerprint in
+          let queries = Array.of_list queries in
+          let results =
+            if not fp_ok then []
+            else
+              List.map
+                (fun (qc : Cert.query_cert) ->
+                  let i = qc.Cert.index in
+                  let mismatch m =
+                    Error { Cert.obligation = Cert.Format; message = m }
+                  in
+                  let r =
+                    if i < 0 || i >= Array.length queries then
+                      mismatch
+                        (Printf.sprintf "the model has no query %d" i)
+                    else
+                      match (queries.(i), qc.Cert.verdict) with
+                      | E.Reach_q q, (Cert.Unreachable | Cert.Reachable _) ->
+                          Cert.check net ~goal:(Cert_emit.goal_of_query q) qc
+                      | E.Sup_q { clock; at }, Cert.Sup { clock = c; _ }
+                        when c = clock ->
+                          Cert.check net ~goal:(Cert_emit.goal_of_query at) qc
+                      | E.Deadlock_q, _ ->
+                          mismatch "deadlock queries have no certificates"
+                      | (E.Reach_q _ | E.Sup_q _), _ ->
+                          mismatch
+                            "the certified verdict does not match the query's \
+                             kind"
+                  in
+                  (i, r))
+                t.Cert.queries
+          in
+          if json then begin
+            let result_json (i, r) =
+              match r with
+              | Ok (st : Cert.stats) ->
+                  Printf.sprintf
+                    "{\"query\": %d, \"status\": \"ok\", \"states\": %d, \
+                     \"zones\": %d}"
+                    i st.Cert.checked_states st.Cert.checked_zones
+              | Error (f : Cert.failure) ->
+                  Printf.sprintf
+                    "{\"query\": %d, \"status\": \"failed\", \"obligation\": \
+                     %s, \"detail\": %s}"
+                    i
+                    (json_string (Cert.obligation_name f.Cert.obligation))
+                    (json_string f.Cert.message)
+            in
+            Printf.printf
+              "{\"certificate\": %s, \"fingerprint-ok\": %b, \"results\": \
+               [%s]}\n"
+              (json_string cert_path) fp_ok
+              (String.concat ", " (List.map result_json results))
+          end
+          else begin
+            if not fp_ok then
+              Printf.printf
+                "FAILED [fingerprint] the certificate was produced for a \
+                 different model\n"
+            else
+              List.iter
+                (fun (i, r) ->
+                  match r with
+                  | Ok (st : Cert.stats) ->
+                      if st.Cert.checked_states = 0 then
+                        Printf.printf "query %d: certified (witness replay)\n"
+                          i
+                      else
+                        Printf.printf
+                          "query %d: certified (%d states, %d successor \
+                           checks)\n"
+                          i st.Cert.checked_states st.Cert.checked_zones
+                  | Error (f : Cert.failure) ->
+                      Printf.printf "query %d: FAILED [%s] %s\n" i
+                        (Cert.obligation_name f.Cert.obligation)
+                        f.Cert.message)
+                results
+          end;
+          if not fp_ok then Cert.exit_code Cert.Fingerprint
+          else
+            let first_failure =
+              List.find_map
+                (fun (_, r) ->
+                  match r with
+                  | Ok _ -> None
+                  | Error (f : Cert.failure) -> Some f.Cert.obligation)
+                results
+            in
+            (match first_failure with
+            | Some o -> Cert.exit_code o
+            | None -> 0))
+
+let certify_cmd =
+  let cert_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "cert" ] ~doc:"the certificate file to verify" ~docv:"FILE")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"machine-readable verdict on stdout instead of the human format")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "verify a certificate emitted by $(b,tamc check --cert) with the \
+          independent checker: the model is re-elaborated from source and \
+          every stored invariant is re-validated with naive reference \
+          semantics, sharing no exploration code with the engine")
+    Term.(const run_certify $ file_arg $ cert_arg $ json)
 
 let run_show path =
   match load path with
@@ -406,4 +661,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "tamc" ~doc:"timed-automata model checker for .ta files")
-          [ check_cmd; show_cmd; slice_cmd; lint_cmd; flow_cmd ]))
+          [ check_cmd; certify_cmd; show_cmd; slice_cmd; lint_cmd; flow_cmd ]))

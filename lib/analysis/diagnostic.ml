@@ -26,6 +26,7 @@ type pass =
   | Trivial_guard
   | Sync_write_race
   | Outside_cone
+  | Merged_query_clock
 
 type t = {
   pass : pass;
@@ -50,6 +51,7 @@ let pass_name = function
   | Trivial_guard -> "always-true-guard"
   | Sync_write_race -> "sync-write-race"
   | Outside_cone -> "outside-query-cone"
+  | Merged_query_clock -> "merged-query-clock"
 
 (* stable numeric pass id, part of the deterministic output order *)
 let pass_id = function
@@ -67,6 +69,7 @@ let pass_id = function
   | Trivial_guard -> 11
   | Sync_write_race -> 12
   | Outside_cone -> 13
+  | Merged_query_clock -> 14
 
 let severity_name = function
   | Hint -> "hint"

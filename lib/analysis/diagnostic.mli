@@ -41,6 +41,11 @@ type pass =
           observed query — it can neither block, force nor retime
           anything the query can see ({!Slice}); only emitted when
           {!Lint.run} is given [observed_comps] *)
+  | Merged_query_clock
+      (** a clock the query observes that quasi-equal merging
+          ([CoiMerge]) folds into another clock with the identical
+          reset pattern; only emitted when {!Lint.run} is given
+          [observed_clocks] and the clock is not pinned *)
 
 type t = {
   pass : pass;

@@ -48,7 +48,14 @@
       backward cone of influence of the observed query ({!Slice}) —
       it cannot block, force or retime anything the observed
       components, clocks or variables depend on, so the checker
-      removes it.  Only emitted when [observed_comps] is given. *)
+      removes it.  Only emitted when [observed_comps] is given;
+    - [merged-query-clock]: an observed clock that quasi-equal clock
+      merging ([Slice.CoiMerge]) folds into another clock with the
+      identical constant-reset pattern on every edge.  The verdict is
+      still correct — queries are rewritten onto the representative —
+      but pinning the clock ({!Network.bump_clock_bound}) is the way
+      to keep it a distinct zone dimension.  Only emitted when
+      [observed_clocks] is given and the clock is not pinned. *)
 
 open Ita_ta
 

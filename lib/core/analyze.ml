@@ -20,10 +20,11 @@ type result = {
   explored : int;
   elapsed : float;
   uncontended_us : int;
+  certified : (Ita_cert.Cert.stats, Ita_cert.Cert.failure) Stdlib.result option;
 }
 
 let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds
-    ?domains ?slicing sys ~scenario ~requirement =
+    ?domains ?slicing ?(certify = false) ?cert_out sys ~scenario ~requirement =
   let s = Sysmodel.scenario sys scenario in
   let req = Scenario.requirement s requirement in
   let gen = Gen.generate ~measure:(scenario, req) sys in
@@ -35,15 +36,38 @@ let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds
     Sysmodel.uncontended_us sys s ~from_step:req.Scenario.from_step
       ~to_step:req.Scenario.to_step
   in
+  (* Certification only applies to the exhaustive sup-query: that is
+     the one method whose verdict is an invariant rather than a bound
+     from an incomplete search. *)
+  let want_cert = certify || cert_out <> None in
+  let snap_ref = ref None in
+  let snap =
+    if want_cert then Some (fun s -> snap_ref := Some s) else None
+  in
+  let qcert = ref None in
   let outcome, explored, elapsed =
     match method_ with
     | Exhaustive -> (
         match
           Wcrt.sup ?order ?abstraction ?reduction ?bounds ?domains ?slicing
+            ?snap
             ~initial_ceiling:(max 4 (4 * uncontended_us))
             gen.Gen.net ~at ~clock
         with
-        | Wcrt.Sup { value; stats; _ } ->
+        | Wcrt.Sup { value; kind; stats } ->
+            (match !snap_ref with
+            | Some snapshot ->
+                let kind =
+                  match kind with
+                  | Wcrt.Attained -> Ita_cert.Cert.Attained
+                  | Wcrt.Approached -> Ita_cert.Cert.Approached
+                in
+                qcert :=
+                  Some
+                    (Cert_emit.of_snapshot ~index:0
+                       ~verdict:(Ita_cert.Cert.Sup { clock; value; kind })
+                       snapshot)
+            | None -> ());
             (Exact_wcrt value, stats.Reach.explored, stats.Reach.elapsed)
         | Wcrt.Goal_unreachable stats ->
             (No_response, stats.Reach.explored, stats.Reach.elapsed)
@@ -79,7 +103,22 @@ let wcrt ?(method_ = Exhaustive) ?order ?abstraction ?reduction ?bounds
         | Some l -> (Wcrt_lower_bound l, r.Wcrt.total_explored, r.Wcrt.total_elapsed)
         | None -> (No_response, r.Wcrt.total_explored, r.Wcrt.total_elapsed))
   in
-  { outcome; explored; elapsed; uncontended_us }
+  let certified =
+    match !qcert with
+    | None -> None
+    | Some qc ->
+        (match cert_out with
+        | Some path ->
+            Ita_cert.Cert.save path (Cert_emit.make gen.Gen.net [ qc ])
+        | None -> ());
+        if certify then
+          Some
+            (Ita_cert.Cert.check gen.Gen.net
+               ~goal:(Cert_emit.goal_of_query at)
+               qc)
+        else None
+  in
+  { outcome; explored; elapsed; uncontended_us; certified }
 
 let pp_outcome ppf = function
   | Exact_wcrt us -> Units.pp_ms ppf us

@@ -32,6 +32,10 @@ type result = {
   elapsed : float;
   uncontended_us : int;
       (** interference-free duration of the measured window *)
+  certified : (Ita_cert.Cert.stats, Ita_cert.Cert.failure) Stdlib.result option;
+      (** [Some r] iff [~certify:true] produced an [Exact_wcrt] and the
+          independent checker was run on its certificate; [None] for
+          every other method/outcome combination. *)
 }
 
 val wcrt :
@@ -42,12 +46,22 @@ val wcrt :
   ?bounds:Reach.bounds ->
   ?domains:int ->
   ?slicing:Reach.slicing ->
+  ?certify:bool ->
+  ?cert_out:string ->
   Sysmodel.t ->
   scenario:string ->
   requirement:string ->
   result
 (** [wcrt sys ~scenario ~requirement] builds the measured network and
     extracts the WCRT.  Default method is [Exhaustive] with BFS.
+
+    [?certify] (default [false]) re-validates an [Exact_wcrt] verdict
+    with the independent certificate checker, in process, and reports
+    the outcome in [certified].  [?cert_out] additionally (or instead)
+    saves the certificate to the given path, where [tamc certify]-style
+    offline validation can pick it up.  Both only apply to the
+    [Exhaustive] method — bounds from incomplete searches carry no
+    invariant to certify.
     @raise Not_found on unknown scenario/requirement names. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -271,6 +271,30 @@ let le_lu l u z z' =
 let sup z i = get z i 0
 let inf z i = get z 0 i
 
+(* Total order on canonical zones of equal dimension: dimension first,
+   then lexicographic on the encoded entries.  The encoding is
+   monotone, so the order is stable across processes — certificate
+   emission sorts with it to get byte-identical artifacts regardless of
+   shard/domain schedule. *)
+let compare z z' =
+  let c = Stdlib.compare z.n z'.n in
+  if c <> 0 then c
+  else if is_empty z then if is_empty z' then 0 else -1
+  else if is_empty z' then 1
+  else Stdlib.compare z.m z'.m
+
+let to_encoded z = (z.n, Array.copy z.m)
+
+let of_encoded n m =
+  if n < 1 || Array.length m <> n * n then
+    invalid_arg "Dbm.of_encoded: dimension mismatch";
+  (* never trust the producer's canonicity: re-close so that the
+     pointwise operations (subset, le_lu, sup) are sound on the
+     result *)
+  let z = { n; m = Array.copy m } in
+  close z;
+  z
+
 let satisfies z v =
   assert (Array.length v = z.n && v.(0) = 0);
   (not (is_empty z))

@@ -57,6 +57,25 @@ val subset : t -> t -> bool
 val equal : t -> t -> bool
 val hash : t -> int
 
+val compare : t -> t -> int
+(** Total order on zones: dimension first, every empty zone below every
+    non-empty one, then lexicographic on the encoded entries.  The
+    bound encoding is value-monotone and process-independent, so the
+    order is stable across runs — certificate emission uses it to
+    produce byte-identical artifacts regardless of exploration
+    schedule. *)
+
+val to_encoded : t -> int * int array
+(** [(dim, entries)] with [entries] a fresh flat row-major copy of the
+    encoded {!Bound.t} matrix; the exchange format of certificates. *)
+
+val of_encoded : int -> int array -> t
+(** [of_encoded dim entries] rebuilds a zone from {!to_encoded} output.
+    The entries are {e not} trusted to be canonical: the result is
+    re-closed, so the pointwise operations are sound on it even when
+    the producer lied.  @raise Invalid_argument on a length/dimension
+    mismatch. *)
+
 val extrapolate : t -> int array -> unit
 (** [extrapolate z k] applies classical maximal-constant abstraction
     (ExtraM): bounds larger than [k.(i)] become [+oo] and lower bounds

@@ -15,7 +15,7 @@ let dir t = t.dir
 
 (* bump when Job.result or the key fields change shape: old entries
    become misses *)
-let version = "ita-dse-v6"
+let version = "ita-dse-v7"
 
 let job_key (spec : Job.spec) =
   let b = spec.Job.budget in
@@ -43,6 +43,7 @@ let job_key (spec : Job.spec) =
             | Ita_mc.Reach.Coi -> "coi"
             | Ita_mc.Reach.CoiMerge -> "coimerge");
             opt string_of_int b.Job.mc_domains;
+            string_of_bool b.Job.mc_certify;
             string_of_int b.Job.sim_runs;
             string_of_int b.Job.sim_horizon_us;
           ]))

@@ -26,6 +26,7 @@ type budget = {
   mc_bounds : Reach.bounds;
   mc_domains : int option;
   mc_slicing : Reach.slicing;
+  mc_certify : bool;
   sim_runs : int;
   sim_horizon_us : int;
 }
@@ -38,6 +39,7 @@ let default_budget =
     mc_bounds = Reach.Flow;
     mc_domains = None;
     mc_slicing = Reach.CoiMerge;
+    mc_certify = false;
     sim_runs = 5;
     sim_horizon_us = 30_000_000;
   }
@@ -75,14 +77,52 @@ let run_mc spec =
       Reach.max_seconds = spec.budget.mc_seconds;
     }
   in
+  let snap_ref = ref None in
+  let snap =
+    if spec.budget.mc_certify then
+      Some (fun s -> snap_ref := Some s)
+    else None
+  in
   match
     Wcrt.sup ~budget ~abstraction:spec.budget.mc_abstraction
       ~bounds:spec.budget.mc_bounds ?domains:spec.budget.mc_domains
-      ~slicing:spec.budget.mc_slicing gen.Gen.net ~at:obs.Gen.seen
+      ~slicing:spec.budget.mc_slicing ?snap gen.Gen.net ~at:obs.Gen.seen
       ~clock:obs.Gen.obs_clock
   with
-  | Wcrt.Sup { value; kind = _; stats } ->
-      { measure = Exact value; elapsed = stats.Reach.elapsed; explored = stats.Reach.explored }
+  | Wcrt.Sup { value; kind; stats } -> (
+      (* a certified mc cell: re-validate the exact verdict with the
+         independent checker before it may enter the Pareto front; a
+         rejected certificate demotes the cell to [Failed] rather
+         than letting an unproven number drive design choices *)
+      match !snap_ref with
+      | None ->
+          { measure = Exact value; elapsed = stats.Reach.elapsed; explored = stats.Reach.explored }
+      | Some snapshot -> (
+          let module Cert = Ita_cert.Cert in
+          let kind =
+            match kind with
+            | Wcrt.Attained -> Cert.Attained
+            | Wcrt.Approached -> Cert.Approached
+          in
+          let qc =
+            Ita_mc.Cert_emit.of_snapshot ~index:0
+              ~verdict:(Cert.Sup { clock = obs.Gen.obs_clock; value; kind })
+              snapshot
+          in
+          let goal = Ita_mc.Cert_emit.goal_of_query obs.Gen.seen in
+          match Cert.check gen.Gen.net ~goal qc with
+          | Ok _ ->
+              { measure = Exact value; elapsed = stats.Reach.elapsed; explored = stats.Reach.explored }
+          | Error f ->
+              {
+                measure =
+                  Failed
+                    (Printf.sprintf "certificate rejected [%s] %s"
+                       (Cert.obligation_name f.Cert.obligation)
+                       f.Cert.message);
+                elapsed = stats.Reach.elapsed;
+                explored = stats.Reach.explored;
+              }))
   | Wcrt.Goal_unreachable stats ->
       { measure = No_response; elapsed = stats.Reach.elapsed; explored = stats.Reach.explored }
   | Wcrt.Sup_budget_exhausted { observed = Some v; stats } ->

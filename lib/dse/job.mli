@@ -32,6 +32,12 @@ type budget = {
       (** query-directed model reduction applied before the
           exploration ({!Ita_mc.Reach.slicing}); part of the cache
           key. *)
+  mc_certify : bool;
+      (** re-validate every exact mc verdict with the independent
+          certificate checker before it enters the results; a
+          rejected certificate demotes the cell to [Failed].  Part of
+          the cache key — certified and uncertified numbers are not
+          interchangeable. *)
   sim_runs : int;  (** simulation seeds *)
   sim_horizon_us : int;  (** simulated time per seed *)
 }

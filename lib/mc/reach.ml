@@ -273,6 +273,19 @@ let dump_table passed acc =
       (e.canon, List.init e.len (fun i -> e.slots.(i).zone)) :: acc)
     passed acc
 
+(* Certificates and differential tests need the dumped passed list to
+   be byte-stable across engines, domain counts and hash-table layouts:
+   sort the entries by discrete state and each antichain by the stable
+   zone order. *)
+let sorted_dump l =
+  List.map
+    (fun ((st : Semantics.state), zs) -> (st, List.sort Dbm.compare zs))
+    l
+  |> List.sort (fun ((a : Semantics.state), _) ((b : Semantics.state), _) ->
+         Stdlib.compare
+           (a.Semantics.locs, a.Semantics.env)
+           (b.Semantics.locs, b.Semantics.env))
+
 type node = {
   config : Semantics.config;
   parent : int;  (* -1 for the root *)
@@ -353,7 +366,7 @@ let run_seq ~order ~budget ~abstraction ~reduction ~lu_of net ~ranges ~goal
        | Some s -> Unix.gettimeofday () -. t0 > s
        | None -> false
   in
-  let dump () = dump_table passed [] in
+  let dump () = sorted_dump (dump_table passed []) in
   let exception Found of int * Dbm.t in
   (* States enter the passed list when pushed (not when popped): later
      duplicates are subsumed away before they ever occupy the waiting
@@ -686,7 +699,8 @@ module Par = struct
       }
     in
     let dump () =
-      Array.fold_left (fun acc sh -> dump_table sh.s_table acc) [] shards
+      sorted_dump
+        (Array.fold_left (fun acc sh -> dump_table sh.s_table acc) [] shards)
     in
     match Atomic.get stop with
     | Some (Perror (e, bt)) -> Printexc.raise_with_backtrace e bt
@@ -695,11 +709,23 @@ module Par = struct
     | None -> (Space_exhausted (stats ()), dump)
 end
 
+(* Everything certificate emission needs from a completed exploration:
+   the slice that translates back to original index space, the network
+   the engine actually explored (sliced, flow-refined, query-bumped —
+   the per-state LU vectors must come from {e these} tables), and the
+   sorted passed-list dump. *)
+type snapshot = {
+  snap_slice : Slice.t;
+  snap_net : Network.t;
+  snap_passed : (Semantics.state * Dbm.t list) list;
+}
+
 (* Core loop shared by [reach], [explore] and [explore_passed].  [goal]
    maps a fresh configuration to its non-empty goal zone when it hits
    the target; goal checking happens at state creation time so that
    counterexamples are found as early as possible (UPPAAL does the
-   same). *)
+   same).  Returns the result, the passed-list dump thunk and the
+   network as explored (after flow refinement). *)
 let run ?(order = Bfs) ?(budget = no_budget) ?abstraction
     ?(reduction = Active) ?(bounds = Flow) ?domains net ~goal ~on_store () =
   let abstraction =
@@ -730,12 +756,15 @@ let run ?(order = Bfs) ?(budget = no_budget) ?abstraction
         fun (st : Semantics.state) -> Some (Semantics.lu_bounds net st)
     | ExtraM | ExtraLU -> fun _ -> Option.None
   in
-  if domains = 1 then
-    run_seq ~order ~budget ~abstraction ~reduction ~lu_of net ~ranges ~goal
-      ~on_store
-  else
-    Par.run ~order ~budget ~abstraction ~reduction ~lu_of ~domains net ~ranges
-      ~goal ~on_store
+  let result, dump =
+    if domains = 1 then
+      run_seq ~order ~budget ~abstraction ~reduction ~lu_of net ~ranges ~goal
+        ~on_store
+    else
+      Par.run ~order ~budget ~abstraction ~reduction ~lu_of ~domains net
+        ~ranges ~goal ~on_store
+  in
+  (result, dump, net)
 
 (* The observation seed of a query's backward cone: its components, the
    clocks its guard tests, the variables it reads. *)
@@ -772,8 +801,8 @@ let slice_query mode ?(extra_clocks = []) net (q : Query.t) =
   in
   (sl, sl.Slice.net, q')
 
-let reach ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing net
-    (q : Query.t) =
+let reach ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing
+    ?snap net (q : Query.t) =
   let mode =
     match slicing with Some s -> s | Option.None -> default_slicing ()
   in
@@ -792,7 +821,7 @@ let reach ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing net
       ~on_store:(fun _ -> ())
       ()
   with
-  | Goal_found (witness, gz, stats), _ ->
+  | Goal_found (witness, gz, stats), _, _ ->
       let witness =
         List.map
           (fun (st : step) ->
@@ -803,11 +832,18 @@ let reach ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing net
           witness
       in
       Reachable { witness; goal_zone = Slice.unmap_zone sl gz; stats }
-  | Space_exhausted stats, _ -> Unreachable stats
-  | Out_of_budget stats, _ -> Budget_exhausted stats
+  | Space_exhausted stats, dump, xnet ->
+      (* the verdict is an invariant claim: surface everything a
+         certificate needs while the passed list is still alive *)
+      (match snap with
+      | Some f ->
+          f { snap_slice = sl; snap_net = xnet; snap_passed = dump () }
+      | Option.None -> ());
+      Unreachable stats
+  | Out_of_budget stats, _, _ -> Budget_exhausted stats
 
 let explore ?order ?budget ?abstraction ?reduction ?bounds ?domains
-    ?(extra_bounds = []) net ~on_store =
+    ?(extra_bounds = []) ?snap net ~on_store =
   let net =
     List.fold_left
       (fun net (x, c) -> Network.bump_clock_bound net x c)
@@ -818,9 +854,13 @@ let explore ?order ?budget ?abstraction ?reduction ?bounds ?domains
       ~goal:(fun _ -> Option.None)
       ~on_store ()
   with
-  | Goal_found _, _ -> assert false
-  | Space_exhausted stats, _ -> `Complete stats
-  | Out_of_budget stats, _ -> `Budget_exhausted stats
+  | Goal_found _, _, _ -> assert false
+  | Space_exhausted stats, dump, xnet ->
+      (match snap with
+      | Some f -> f (xnet, dump ())
+      | Option.None -> ());
+      `Complete stats
+  | Out_of_budget stats, _, _ -> `Budget_exhausted stats
 
 let explore_passed ?order ?budget ?abstraction ?reduction ?bounds ?domains
     ?(extra_bounds = []) net =
@@ -835,9 +875,9 @@ let explore_passed ?order ?budget ?abstraction ?reduction ?bounds ?domains
       ~on_store:(fun _ -> ())
       ()
   with
-  | Goal_found _, _ -> assert false
-  | Space_exhausted stats, dump -> `Complete (dump (), stats)
-  | Out_of_budget stats, _ -> `Budget_exhausted stats
+  | Goal_found _, _, _ -> assert false
+  | Space_exhausted stats, dump, _ -> `Complete (dump (), stats)
+  | Out_of_budget stats, _, _ -> `Budget_exhausted stats
 
 let pp_stats ppf s =
   Format.fprintf ppf "explored %d, stored %d, transitions %d, %.3fs"

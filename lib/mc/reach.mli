@@ -149,6 +149,22 @@ type outcome =
       (** the goal was not found within the budget: unreachability is
           NOT established. *)
 
+type snapshot = {
+  snap_slice : Ita_analysis.Slice.t;
+      (** translates states, zones and LU vectors back to the original
+          network's index space *)
+  snap_net : Network.t;
+      (** the network the engine actually explored: sliced,
+          flow-refined, clock bounds bumped with the query constants —
+          the tables per-state LU vectors must be resolved against *)
+  snap_passed : (Semantics.state * Semantics.Dbm.t list) list;
+      (** the final passed list, sorted by discrete state with each
+          antichain sorted by {!Ita_dbm.Dbm.compare} — byte-stable
+          across engines and domain counts *)
+}
+(** Everything certificate emission ({!Cert_emit}) needs from a
+    completed exploration. *)
+
 val reach :
   ?order:order ->
   ?budget:budget ->
@@ -157,6 +173,7 @@ val reach :
   ?bounds:bounds ->
   ?domains:int ->
   ?slicing:slicing ->
+  ?snap:(snapshot -> unit) ->
   Network.t ->
   Query.t ->
   outcome
@@ -173,6 +190,10 @@ val reach :
     their initial location, removed variables at their initial value,
     removed clocks unconstrained, merged clocks equal to their
     representative.
+
+    [?snap] fires exactly when the verdict is [Unreachable] — the only
+    verdict the passed list is an inductive invariant for — with the
+    {!snapshot} certificate emission consumes.
 
     [?domains] (default {!default_domains}) picks the engine:
     [1] is the exact sequential code path; [d > 1] explores with [d]
@@ -192,6 +213,7 @@ val explore :
   ?bounds:bounds ->
   ?domains:int ->
   ?extra_bounds:(Guard.clock * int) list ->
+  ?snap:(Network.t * (Semantics.state * Semantics.Dbm.t list) list -> unit) ->
   Network.t ->
   on_store:(Semantics.config -> unit) ->
   [ `Complete of stats | `Budget_exhausted of stats ]
@@ -199,7 +221,11 @@ val explore :
     state; used by sup-style queries and state-space measurements.
     With [domains > 1] the [on_store] calls are serialised under a
     dedicated mutex, so existing single-threaded consumers (sup
-    tracking, deadlock probes) need no changes. *)
+    tracking, deadlock probes) need no changes.
+
+    [?snap] fires on [`Complete] with the explored (flow-refined,
+    bumped) network and the sorted passed list; callers that slice
+    themselves ({!Wcrt.sup}) assemble the full {!snapshot} from it. *)
 
 val explore_passed :
   ?order:order ->
@@ -213,15 +239,13 @@ val explore_passed :
   [ `Complete of (Semantics.state * Semantics.Dbm.t list) list * stats
   | `Budget_exhausted of stats ]
 (** Like {!explore} but returns the final passed list: per interned
-    discrete state, the antichain of maximal zones stored for it.  The
-    list order (and the order within each antichain) is unspecified;
-    under subset subsumption ([ExtraM]/[ExtraLU]) a complete
-    exploration's {e contents} are deterministic at any domain count —
-    the differential test layer compares parallel against sequential
-    antichains with an order-insensitive fingerprint.  Under [LuSim]
-    contents are only canonical up to mutual a◁LU simulation (see
-    {!stats.stored}); the test layer checks two-way simulation
-    coverage instead. *)
+    discrete state, the antichain of maximal zones stored for it.
+    Entries are sorted by discrete state and each antichain by
+    {!Ita_dbm.Dbm.compare}, so under subset subsumption
+    ([ExtraM]/[ExtraLU]) a complete exploration's output is
+    byte-identical at any domain count.  Under [LuSim] contents are
+    only canonical up to mutual a◁LU simulation (see {!stats.stored});
+    the test layer checks two-way simulation coverage instead. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 val pp_witness : Network.t -> Format.formatter -> step list -> unit

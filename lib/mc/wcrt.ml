@@ -17,7 +17,7 @@ let goal_sup net (q : Query.t) clock (c : Semantics.config) =
   | None -> None
   | Some z -> Some (Dbm.sup z clock)
 
-let sup ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing
+let sup ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing ?snap
     ?(initial_ceiling = 1_000_000) ?(max_ceiling = 1 lsl 40) net ~at ~clock =
   (* slice once, before the ceiling loop: the cone is seeded with the
      goal plus the measured clock, so the sup is taken over exactly the
@@ -45,9 +45,15 @@ let sup ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing
       | Some b -> improve b
     in
     let extra_bounds = (clock, ceiling) :: Query.clock_constants net at in
+    let last_snap = ref None in
+    let explore_snap =
+      match snap with
+      | None -> None
+      | Some _ -> Some (fun s -> last_snap := Some s)
+    in
     let result =
       Reach.explore ?order ?budget ?abstraction ?reduction ?bounds ?domains
-        ~extra_bounds net ~on_store
+        ~extra_bounds ?snap:explore_snap net ~on_store
     in
     let observed () =
       match !best with
@@ -67,6 +73,17 @@ let sup ?order ?budget ?abstraction ?reduction ?bounds ?domains ?slicing
             if ceiling * 4 > max_ceiling then Sup_unbounded { ceiling; stats }
             else attempt (ceiling * 4)
         | Some b ->
+            (* the bound is below the ceiling, so the passed list of
+               this (final) attempt is the certifiable invariant *)
+            (match (snap, !last_snap) with
+            | Some f, Some (xnet, passed) ->
+                f
+                  {
+                    Reach.snap_slice = sl;
+                    snap_net = xnet;
+                    snap_passed = passed;
+                  }
+            | _ -> ());
             Sup
               {
                 value = Bound.value b;

@@ -40,6 +40,7 @@ val sup :
   ?bounds:Reach.bounds ->
   ?domains:int ->
   ?slicing:Reach.slicing ->
+  ?snap:(Reach.snapshot -> unit) ->
   ?initial_ceiling:int ->
   ?max_ceiling:int ->
   Network.t ->
@@ -54,7 +55,11 @@ val sup :
 
     [?slicing] (default {!Reach.default_slicing}) reduces the network
     to the cone of the goal plus the measured clock before exploring;
-    the supremum is unchanged. *)
+    the supremum is unchanged.
+
+    [?snap] fires exactly when the result is [Sup], with the final
+    (below-ceiling) attempt's {!Reach.snapshot} for certificate
+    emission. *)
 
 type search_result = {
   lower : int option;  (** largest [C] with [goal && clock >= C] reachable *)
